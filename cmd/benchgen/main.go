@@ -1,0 +1,76 @@
+// Command benchgen emits synthetic random-logic netlists in the ISCAS .bench
+// format — either one of the built-in ISCAS'89-matched benchmark profiles or
+// a custom configuration.
+//
+// Usage:
+//
+//	benchgen -profile s298                      # structure-matched benchmark
+//	benchgen -gates 500 -depth 12 -pis 16 -pos 8 -seed 7 -name big
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/netgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+
+	profile := flag.String("profile", "", "built-in profile name (s298, s344, ...)")
+	name := flag.String("name", "synth", "circuit name for custom generation")
+	gates := flag.Int("gates", 200, "logic gate count")
+	depth := flag.Int("depth", 10, "target logic depth")
+	pis := flag.Int("pis", 8, "primary inputs")
+	pos := flag.Int("pos", 6, "primary outputs")
+	dffs := flag.Int("dffs", 0, "flops to model as pseudo PI/PO pairs")
+	maxFan := flag.Int("maxfan", 4, "maximum gate fanin")
+	seed := flag.Int64("seed", 1, "generator seed")
+	format := flag.String("format", "bench", "output format: bench, verilog")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var c *circuit.Circuit
+	var err error
+	if *profile != "" {
+		c, err = netgen.Profile(*profile)
+	} else {
+		c, err = netgen.Generate(netgen.Config{
+			Name: *name, Gates: *gates, Depth: *depth,
+			PIs: *pis, POs: *pos, DFFs: *dffs, MaxFan: *maxFan,
+		}, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "bench":
+		err = circuit.WriteBench(w, c)
+	case "verilog":
+		err = circuit.WriteVerilog(w, c)
+	default:
+		err = nil
+		log.Fatalf("unknown -format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

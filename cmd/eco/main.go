@@ -1,0 +1,23 @@
+// Command eco re-optimizes an edited netlist starting from a previously
+// saved design (engineering-change-order flow): unchanged gates keep their
+// sizing, and only the widths are re-solved unless the edit broke timing.
+//
+// Usage:
+//
+//	eco -design old.json -prev old.bench -bench new.bench [-save new.json]
+package main
+
+import (
+	"log"
+	"os"
+
+	"cmosopt/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eco: ")
+	if err := cli.ECO(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

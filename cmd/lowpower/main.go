@@ -1,0 +1,25 @@
+// Command lowpower optimizes one CMOS random logic network for minimal total
+// (static + dynamic) energy under a cycle-time constraint — the paper's full
+// flow on a single circuit. Circuits come from the built-in benchmark suite
+// or any ISCAS .bench netlist.
+//
+// Usage:
+//
+//	lowpower -circuit s298 [-mode joint|baseline|anneal|multivt|dualvdd] [-fc 3e8]
+//	lowpower -bench path/to/netlist.bench -save design.json
+package main
+
+import (
+	"log"
+	"os"
+
+	"cmosopt/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lowpower: ")
+	if err := cli.LowPower(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

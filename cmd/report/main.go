@@ -1,0 +1,101 @@
+// Command report regenerates the complete experimental record — Tables 1
+// and 2, both Figure 2 sweeps, the annealing comparison, and the
+// multi-threshold study — as a single Markdown document, so the numbers in
+// EXPERIMENTS.md can be reproduced with one command:
+//
+//	go run ./cmd/report > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/experiments"
+	"cmosopt/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+
+	circuits := flag.String("circuits", "", "comma-separated benchmark names (default: full suite)")
+	fc := flag.Float64("fc", 300e6, "required clock frequency (Hz)")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Fc = *fc
+	if *circuits != "" {
+		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+
+	out := os.Stdout
+	fmt.Fprintf(out, "# cmosopt experimental record\n\n")
+	fmt.Fprintf(out, "Conditions: fc = %s, skew b = %.2f, input probability %.2f, activities %v.\n\n",
+		report.Eng(cfg.Fc, "Hz"), cfg.Skew, cfg.InputProb, cfg.Activities)
+
+	md := func(t *report.Table) {
+		if err := t.RenderMarkdown(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	entries, err := experiments.RunSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md(experiments.Table1(entries))
+	md(experiments.Table2(entries))
+
+	figCircuit := cfg.Circuits[0]
+	for _, c := range cfg.Circuits {
+		if c == "s298" { // the paper's Figure 2 circuit when present
+			figCircuit = c
+		}
+	}
+	act := cfg.Activities[len(cfg.Activities)-1]
+
+	tols := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+	skews := []float64{0.55, 0.65, 0.75, 0.85, 0.95, 1.0}
+	if *quick {
+		tols = []float64{0, 0.15, 0.30}
+		skews = []float64{0.65, 0.95}
+	}
+	pa, err := experiments.Figure2a(cfg, figCircuit, act, tols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md(experiments.Figure2aTable(pa))
+	pb, err := experiments.Figure2b(cfg, figCircuit, act, skews)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md(experiments.Figure2bTable(pb))
+
+	saCircuits := cfg.Circuits
+	if len(saCircuits) > 2 && !*quick {
+		saCircuits = saCircuits[:2]
+	} else if *quick {
+		saCircuits = saCircuits[:1]
+	}
+	sa, err := experiments.SACompare(cfg, saCircuits, act, core.DefaultAnnealOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	md(experiments.SATable(sa))
+
+	nvs := []int{1, 2, 3}
+	if *quick {
+		nvs = []int{1, 2}
+	}
+	mv, err := experiments.MultiVtStudy(cfg, figCircuit, act, nvs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md(experiments.MultiVtTable(mv))
+}

@@ -1,0 +1,104 @@
+// Command sweep runs the joint optimizer across a range of clock targets on
+// one circuit and prints the energy/voltage trajectory — the §3 physics of
+// the paper made visible: as the clock relaxes, the optimizer rides supply
+// and threshold down together until leakage balances switching. It also
+// reports the energy-delay-product optimal operating point (the metric of
+// the paper's reference [2], for designs with no hard clock target).
+//
+// Usage:
+//
+//	sweep -circuit s298 [-from 5e7] [-to 6e8] [-points 8] [-format text|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+	"cmosopt/internal/netgen"
+	"cmosopt/internal/report"
+	"cmosopt/internal/wiring"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	name := flag.String("circuit", "s298", "benchmark circuit")
+	from := flag.Float64("from", 50e6, "lowest clock target (Hz)")
+	to := flag.Float64("to", 600e6, "highest clock target (Hz)")
+	points := flag.Int("points", 8, "number of sweep points (log-spaced)")
+	act := flag.Float64("activity", 0.5, "input transition density per cycle")
+	format := flag.String("format", "text", "output format: text, csv")
+	flag.Parse()
+
+	if *from <= 0 || *to <= *from || *points < 2 {
+		log.Fatalf("bad sweep range [%v, %v] x %d", *from, *to, *points)
+	}
+	ct, err := netgen.Profile(*name)
+	if err != nil {
+		if ct, err = netgen.Profile85(*name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	spec := core.Spec{
+		Circuit:      ct,
+		Tech:         device.Default350(),
+		Wiring:       wiring.Default350(),
+		Fc:           *from, // per-point override below
+		Skew:         0.95,
+		InputProb:    0.5,
+		InputDensity: *act,
+	}
+
+	fcs := make([]float64, *points)
+	ratio := math.Pow(*to / *from, 1/float64(*points-1))
+	fc := *from
+	for i := range fcs {
+		fcs[i] = fc
+		fc *= ratio
+	}
+
+	pts, best, err := core.EDPStudy(spec, fcs, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("clock sweep: %s (activity %.2f)", *name, *act),
+		Headers: []string{"fc (MHz)", "Vdd (V)", "Vt (V)", "Static E (J)",
+			"Dynamic E (J)", "Total E (J)", "EDP (J*s)", "note"},
+	}
+	for i, pt := range pts {
+		note := ""
+		if i == best {
+			note = "<- min EDP"
+		}
+		r := pt.Result
+		t.AddRow(
+			fmt.Sprintf("%.0f", pt.Fc/1e6),
+			fmt.Sprintf("%.2f", r.Vdd),
+			fmt.Sprintf("%.3f", r.VtsValues[0]),
+			report.Sci(r.Energy.Static),
+			report.Sci(r.Energy.Dynamic),
+			report.Sci(r.Energy.Total()),
+			report.Sci(pt.EDP),
+			note,
+		)
+	}
+	switch *format {
+	case "text":
+		err = t.Render(os.Stdout)
+	case "csv":
+		err = t.RenderCSV(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Command verify re-checks a saved design (cmd/lowpower -save) against its
+// circuit: it re-derives the activity profile and delay budgets, recomputes
+// timing and energy from scratch, and reports whether the design still meets
+// the cycle-time constraint — the sign-off step of the flow. Exit status 1
+// on a timing failure.
+//
+// Usage:
+//
+//	verify -design d.json -circuit s298 [-fc 3e8] [-tech file]
+package main
+
+import (
+	"log"
+	"os"
+
+	"cmosopt/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verify: ")
+	if err := cli.Verify(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

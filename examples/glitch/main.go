@@ -1,0 +1,130 @@
+// Activity decomposition example. The paper's dynamic-power numbers rest on
+// Najm's analytic transition density (§4.1), which differs from the real
+// switching activity in two opposite ways:
+//
+//   - it *overcounts* on reconvergent logic (spatially correlated fanins and
+//     simultaneous input switching violate its independence assumption);
+//   - it *undercounts* hazards (zero-delay analysis cannot see the glitches
+//     unequal path delays create).
+//
+// This example separates the two on the optimized s298 design by comparing
+// three measurements of total switching activity:
+//
+//	analytic   — Najm propagation (what the optimizer uses);
+//	zero-delay — Monte-Carlo logic simulation (true correlations, no
+//	             glitches);
+//	timed      — event-driven simulation with the design's real gate delays
+//	             (true correlations AND glitches, minus inertially filtered
+//	             pulses).
+//
+//	go run ./examples/glitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmosopt/internal/activity"
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+	"cmosopt/internal/netgen"
+	"cmosopt/internal/report"
+	"cmosopt/internal/sim"
+	"cmosopt/internal/wiring"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := netgen.Profile("s298")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const act = 0.3
+	p, err := core.NewProblem(core.Spec{
+		Circuit:      c,
+		Tech:         device.Default350(),
+		Wiring:       wiring.Default350(),
+		Fc:           300e6,
+		Skew:         0.95,
+		InputProb:    0.5,
+		InputDensity: act,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.OptimizeJoint(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := make(map[int]activity.InputSpec, len(p.C.PIs))
+	for _, id := range p.C.PIs {
+		in[id] = activity.InputSpec{Prob: 0.5, Density: act}
+	}
+	const cycles = 30000
+
+	zero, err := activity.MonteCarlo(p.C, in, cycles, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.New(p.C, p.Delay, res.Assignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timed, err := s.RandomVectorStats(in, cycles, 1/p.Fc, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Energy-weight each activity measure with the same per-gate switched
+	// capacitance so the comparison reads directly in joules.
+	weighted := func(density func(i int) float64) float64 {
+		total := 0.0
+		for i := range p.C.Gates {
+			if !p.C.Gates[i].IsLogic() {
+				continue
+			}
+			base := p.Power.GateEnergy(i, res.Assignment).Dynamic
+			if d := p.Act.Density[i]; d > 1e-12 {
+				total += base * density(i) / d
+			}
+		}
+		return total
+	}
+	analyticE := weighted(func(i int) float64 { return p.Act.Density[i] })
+	zeroE := weighted(func(i int) float64 { return zero.Density[i] })
+	timedE := weighted(func(i int) float64 { return timed[i] })
+
+	fmt.Printf("circuit                  s298 (joint-optimized, %s, input activity %.1f)\n",
+		report.Eng(p.Fc, "Hz"), act)
+	fmt.Printf("analytic (Najm)          %s/cycle   <- what the optimizer minimizes\n", report.Eng(analyticE, "J"))
+	fmt.Printf("zero-delay simulation    %s/cycle   (correlation overcount: %+.1f%%)\n",
+		report.Eng(zeroE, "J"), (analyticE/zeroE-1)*100)
+	fmt.Printf("timed simulation         %s/cycle   (glitch contribution:   %+.1f%%)\n",
+		report.Eng(timedE, "J"), (timedE/zeroE-1)*100)
+	fmt.Println("\nThe independence assumption overstates activity on reconvergent logic, while")
+	fmt.Println("hazards push the other way; the analytic estimate the paper (and this library)")
+	fmt.Println("optimizes against is conservative whenever the first effect dominates.")
+
+	// Bonus: the supply-power waveform, which the per-cycle energy metric
+	// integrates away. Peak-to-average matters for the power grid.
+	se := make([]float64, p.C.N())
+	for i := range p.C.Gates {
+		if p.C.Gates[i].IsLogic() {
+			se[i] = p.Power.GateEnergy(i, res.Assignment).Dynamic
+			if d := p.Act.Density[i]; d > 1e-12 {
+				se[i] /= d // energy per single transition
+			}
+		}
+	}
+	s2, err := sim.New(p.C, p.Delay, res.Assignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, p2a, err := s2.PowerTrace(in, se, 8000, 8, 1/p.Fc, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsupply power peak/average    %.1fx (event-driven trace, 1/8-cycle buckets)\n", p2a)
+}

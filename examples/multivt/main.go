@@ -1,0 +1,67 @@
+// Multi-threshold example: the paper keeps "the flexibility to use more than
+// one threshold or power supply voltage if desired" (§4), at the cost of
+// extra implant masks or tub biases (Figure 1). This example sweeps the
+// number of distinct threshold voltages n_v on the s298-profile benchmark
+// and shows the energy returns of each additional threshold.
+//
+//	go run ./examples/multivt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+	"cmosopt/internal/netgen"
+	"cmosopt/internal/report"
+	"cmosopt/internal/wiring"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := netgen.Profile("s298")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewProblem(core.Spec{
+		Circuit:      c,
+		Tech:         device.Default350(),
+		Wiring:       wiring.Default350(),
+		Fc:           300e6,
+		Skew:         0.95,
+		InputProb:    0.5,
+		InputDensity: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ref float64
+	for _, nv := range []int{1, 2, 3} {
+		res, err := p.OptimizeMultiVt(nv, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nv == 1 {
+			ref = res.Energy.Total()
+		}
+		fmt.Printf("nv=%d: total=%-9s static=%-9s dynamic=%-9s Vdd=%-7s thresholds=",
+			nv,
+			report.Eng(res.Energy.Total(), "J"),
+			report.Eng(res.Energy.Static, "J"),
+			report.Eng(res.Energy.Dynamic, "J"),
+			report.Eng(res.Vdd, "V"))
+		for i, vt := range res.VtsValues {
+			if i > 0 {
+				fmt.Print(" / ")
+			}
+			fmt.Print(report.Eng(vt, "V"))
+		}
+		fmt.Printf("  (gain vs nv=1: %.2fx)\n", ref/res.Energy.Total())
+	}
+	fmt.Println("\nEach extra threshold buys leakage on slack gates without slowing critical ones;")
+	fmt.Println("the returns shrink as n_v grows, which is why the paper treats n_v = 1 as the")
+	fmt.Println("practical case and larger n_v as a technology-cost trade.")
+}

@@ -1,0 +1,44 @@
+// Process-design example — the paper's §1 application: "In determining the
+// threshold voltage for a process being developed for future applications,
+// one may use the algorithms on existing benchmarks with predicted circuit
+// timing parameters to find the most desirable threshold voltage."
+//
+// The joint optimizer runs on each benchmark, the per-circuit optimal
+// thresholds are combined into one process-wide recommendation, and each
+// circuit is re-optimized with the threshold pinned there to price the
+// single-Vt process against per-design freedom.
+//
+//	go run ./examples/processdesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cmosopt/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := experiments.Default()
+	cfg.Circuits = []string{"s298", "s382", "s386", "s400", "s444", "s510"}
+	rec, entries, err := experiments.ProcessVtStudy(cfg, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.ProcessVtTable(rec, entries).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	worst := 1.0
+	for _, e := range entries {
+		if e.Penalty > worst {
+			worst = e.Penalty
+		}
+	}
+	fmt.Printf("\nA single process threshold of %.0f mV costs at most %.0f%% over per-design\n",
+		rec*1e3, (worst-1)*100)
+	fmt.Println("optimal thresholds across this suite — the quantified version of the paper's")
+	fmt.Println("claim that its optimizer doubles as a process-design tool.")
+}

@@ -1,0 +1,57 @@
+// Process-variation example (the paper's Figure 2(a) methodology): optimize
+// under worst-case threshold corners — timing at the slow corner
+// V_t·(1+tol), power at the leaky corner V_t·(1−tol) — and watch the
+// achievable savings shrink as the tolerated variation grows.
+//
+//	go run ./examples/variation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+	"cmosopt/internal/netgen"
+	"cmosopt/internal/wiring"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := netgen.Profile("s298")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewProblem(core.Spec{
+		Circuit:      c,
+		Tech:         device.Default350(),
+		Wiring:       wiring.Default350(),
+		Fc:           300e6,
+		Skew:         0.95,
+		InputProb:    0.5,
+		InputDensity: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := p.OptimizeBaseline(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts, err := p.VariationStudy([]float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		core.DefaultOptions(), base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Vt tol   savings   chosen Vdd   chosen Vt   (s298, a=0.5, 300 MHz)")
+	for _, pt := range pts {
+		fmt.Printf("±%3.0f%%    %5.1fx    %6.2f V     %6.3f V\n",
+			pt.Tol*100, pt.Savings, pt.Vdd, pt.Vts)
+	}
+	fmt.Println("\nWider tolerance forces a higher nominal threshold (leaky corner) and a higher")
+	fmt.Println("supply (slow corner), eroding — but not eliminating — the joint optimizer's")
+	fmt.Println("advantage, exactly the trend of the paper's Figure 2(a).")
+}

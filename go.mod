@@ -1,0 +1,3 @@
+module cmosopt
+
+go 1.22

@@ -1,0 +1,56 @@
+package activity_test
+
+import (
+	"fmt"
+
+	"cmosopt/internal/activity"
+	"cmosopt/internal/circuit"
+)
+
+func ExamplePropagateUniform() {
+	// A 2-input NAND with p = 0.5, 0.2 transitions/cycle at each input:
+	// P(y) = 1 − 0.25 = 0.75, D(y) = 2 · 0.5 · 0.2 = 0.2.
+	b := circuit.NewBuilder("g")
+	a1, a2 := b.Input("a"), b.Input("b")
+	y := b.Gate(circuit.Nand, "y", a1, a2)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	prof, err := activity.PropagateUniform(c, 0.5, 0.2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("P=%.2f D=%.2f\n", prof.Prob[y], prof.Density[y])
+	// Output: P=0.75 D=0.20
+}
+
+func ExampleExactProbabilitiesUniform() {
+	// Reconvergent fanout: AND(a, NOT a) is constant 0. Exact enumeration
+	// knows that; independence-based propagation reports 0.25.
+	b := circuit.NewBuilder("rc")
+	a := b.Input("a")
+	na := b.Gate(circuit.Not, "na", a)
+	y := b.Gate(circuit.And, "y", a, na)
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	exact, err := activity.ExactProbabilitiesUniform(c, 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	approx, err := activity.PropagateUniform(c, 0.5, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("exact=%.2f independence=%.2f\n", exact[y], approx.Prob[y])
+	// Output: exact=0.00 independence=0.25
+}

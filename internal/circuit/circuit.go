@@ -1,0 +1,314 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circuit is an immutable gate-level network. Build one with a Builder, the
+// bench parser, or the netgen package. Gate IDs are indices into Gates.
+type Circuit struct {
+	Name  string
+	Gates []Gate
+	// PIs lists primary-input gate IDs in declaration order.
+	PIs []int
+	// POs lists primary-output gate IDs in declaration order. A PO may also
+	// have internal fanout.
+	POs []int
+
+	order  []int // cached topological order of all gates
+	levels []int // cached level per gate (0 = inputs)
+	depth  int   // cached logic depth
+}
+
+// N returns the total number of gates, including inputs.
+func (c *Circuit) N() int { return len(c.Gates) }
+
+// NumLogic returns the number of combinational logic gates (the N of the
+// paper's "random logic network of N static CMOS gates").
+func (c *Circuit) NumLogic() int {
+	n := 0
+	for i := range c.Gates {
+		if c.Gates[i].IsLogic() {
+			n++
+		}
+	}
+	return n
+}
+
+// Gate returns the gate with the given ID. It panics on an out-of-range ID,
+// which always indicates a programming error, not bad input.
+func (c *Circuit) Gate(id int) *Gate { return &c.Gates[id] }
+
+// IsSequential reports whether the circuit still contains DFF elements.
+func (c *Circuit) IsSequential() bool {
+	for i := range c.Gates {
+		if c.Gates[i].Type == DFF {
+			return true
+		}
+	}
+	return false
+}
+
+// GateByName returns the gate with the given name, or nil.
+func (c *Circuit) GateByName(name string) *Gate {
+	for i := range c.Gates {
+		if c.Gates[i].Name == name {
+			return &c.Gates[i]
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order over all gates (inputs first). The
+// result is cached and shared; treat it as read-only. It fails if the circuit
+// contains a combinational cycle; cut DFFs first via Combinational.
+func (c *Circuit) TopoOrder() ([]int, error) {
+	if c.order != nil {
+		return c.order, nil
+	}
+	n := len(c.Gates)
+	indeg := make([]int, n)
+	for i := range c.Gates {
+		indeg[i] = len(c.Gates[i].Fanin)
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, f := range c.Gates[id].Fanout {
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("circuit %q: combinational cycle involving %d gates", c.Name, n-len(order))
+	}
+	c.order = order
+	return order, nil
+}
+
+// Levels returns, per gate ID, the length of the longest chain of logic gates
+// from any input up to and including that gate. Inputs are level 0; a gate
+// fed only by inputs is level 1. The slice is cached; treat as read-only.
+func (c *Circuit) Levels() ([]int, error) {
+	if c.levels != nil {
+		return c.levels, nil
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := make([]int, len(c.Gates))
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Type == Input {
+			lv[id] = 0
+			continue
+		}
+		maxIn := 0
+		for _, f := range g.Fanin {
+			if lv[f] > maxIn {
+				maxIn = lv[f]
+			}
+		}
+		lv[id] = maxIn + 1
+	}
+	c.levels = lv
+	return lv, nil
+}
+
+// Depth returns the logic depth: the number of logic gates on the longest
+// input-to-output path (the "Depth" column of the paper's Table 1).
+func (c *Circuit) Depth() (int, error) {
+	if c.depth > 0 {
+		return c.depth, nil
+	}
+	lv, err := c.Levels()
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for _, l := range lv {
+		if l > d {
+			d = l
+		}
+	}
+	c.depth = d
+	return d, nil
+}
+
+// Validate checks structural invariants: gate IDs match indices, fanin counts
+// are legal for each type, fanin/fanout cross-references are consistent, all
+// PIs are Input gates, PO IDs are in range, and names are unique.
+func (c *Circuit) Validate() error {
+	names := make(map[string]int, len(c.Gates))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.ID != i {
+			return fmt.Errorf("gate %q: ID %d does not match index %d", g.Name, g.ID, i)
+		}
+		if !g.Type.Valid() || g.Type == numGateTypes {
+			return fmt.Errorf("gate %q: invalid type %d", g.Name, g.Type)
+		}
+		if g.Name == "" {
+			return fmt.Errorf("gate %d: empty name", i)
+		}
+		if prev, dup := names[g.Name]; dup {
+			return fmt.Errorf("duplicate gate name %q (gates %d and %d)", g.Name, prev, i)
+		}
+		names[g.Name] = i
+		if n := g.NumFanin(); n < g.Type.MinFanin() || (g.Type.MaxFanin() >= 0 && n > g.Type.MaxFanin()) {
+			return fmt.Errorf("gate %q: %s with %d fanins", g.Name, g.Type, n)
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("gate %q: fanin %d out of range", g.Name, f)
+			}
+			if !containsID(c.Gates[f].Fanout, i) {
+				return fmt.Errorf("gate %q: fanin %q does not list it as fanout", g.Name, c.Gates[f].Name)
+			}
+		}
+		for _, f := range g.Fanout {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("gate %q: fanout %d out of range", g.Name, f)
+			}
+			if !containsID(c.Gates[f].Fanin, i) {
+				return fmt.Errorf("gate %q: fanout %q does not list it as fanin", g.Name, c.Gates[f].Name)
+			}
+		}
+	}
+	for _, id := range c.PIs {
+		if id < 0 || id >= len(c.Gates) {
+			return fmt.Errorf("PI id %d out of range", id)
+		}
+		if c.Gates[id].Type != Input {
+			return fmt.Errorf("PI %q is not an Input gate", c.Gates[id].Name)
+		}
+	}
+	for _, id := range c.POs {
+		if id < 0 || id >= len(c.Gates) {
+			return fmt.Errorf("PO id %d out of range", id)
+		}
+	}
+	return nil
+}
+
+func containsID(s []int, id int) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Combinational returns a copy of the circuit with every DFF cut: the flop's
+// output becomes a pseudo primary input (an Input gate keeping the DFF's
+// fanouts) and the flop's driver becomes a pseudo primary output. This is the
+// standard register-to-register view under which the paper's cycle-time
+// constraint applies. Circuits with no DFFs are returned as a plain copy.
+func (c *Circuit) Combinational() (*Circuit, error) {
+	nc := &Circuit{
+		Name:  c.Name,
+		Gates: make([]Gate, len(c.Gates)),
+		PIs:   append([]int(nil), c.PIs...),
+		POs:   append([]int(nil), c.POs...),
+	}
+	for i := range c.Gates {
+		g := c.Gates[i]
+		nc.Gates[i] = Gate{
+			ID:     g.ID,
+			Name:   g.Name,
+			Type:   g.Type,
+			Fanin:  append([]int(nil), g.Fanin...),
+			Fanout: append([]int(nil), g.Fanout...),
+		}
+	}
+	poSet := make(map[int]bool, len(nc.POs))
+	for _, id := range nc.POs {
+		poSet[id] = true
+	}
+	for i := range nc.Gates {
+		g := &nc.Gates[i]
+		if g.Type != DFF {
+			continue
+		}
+		// The driver becomes a pseudo-PO (its path must settle in a cycle).
+		d := g.Fanin[0]
+		driver := &nc.Gates[d]
+		driver.Fanout = removeID(driver.Fanout, i)
+		if !poSet[d] {
+			nc.POs = append(nc.POs, d)
+			poSet[d] = true
+		}
+		// The flop output becomes a pseudo-PI feeding its old fanouts.
+		g.Type = Input
+		g.Fanin = nil
+		nc.PIs = append(nc.PIs, i)
+		delete(poSet, i) // a DFF listed as PO is no longer a timing endpoint
+		if idx := indexOf(nc.POs, i); idx >= 0 {
+			nc.POs = append(nc.POs[:idx], nc.POs[idx+1:]...)
+		}
+	}
+	if _, err := nc.TopoOrder(); err != nil {
+		return nil, err
+	}
+	if err := nc.Validate(); err != nil {
+		return nil, fmt.Errorf("after DFF cut: %w", err)
+	}
+	return nc, nil
+}
+
+func removeID(s []int, id int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func indexOf(s []int, id int) int {
+	for i, v := range s {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// LogicIDs returns the IDs of all logic gates in topological order.
+func (c *Circuit) LogicIDs() ([]int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, 0, len(order))
+	for _, id := range order {
+		if c.Gates[id].IsLogic() {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// SortedNames returns all gate names sorted, mainly for deterministic output.
+func (c *Circuit) SortedNames() []string {
+	names := make([]string, len(c.Gates))
+	for i := range c.Gates {
+		names[i] = c.Gates[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

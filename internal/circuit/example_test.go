@@ -1,0 +1,57 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"cmosopt/internal/circuit"
+)
+
+func ExampleBuilder() {
+	b := circuit.NewBuilder("half-adder")
+	a := b.Input("a")
+	bi := b.Input("b")
+	sum := b.Gate(circuit.Xor, "sum", a, bi)
+	carry := b.Gate(circuit.And, "carry", a, bi)
+	b.Output(sum)
+	b.Output(carry)
+	c, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, _ := c.Depth()
+	fmt.Printf("%d logic gates, depth %d\n", c.NumLogic(), d)
+	// Output: 2 logic gates, depth 1
+}
+
+func ExampleParseBenchString() {
+	c, err := circuit.ParseBenchString("demo", `
+INPUT(x)
+INPUT(y)
+OUTPUT(z)
+z = NAND(x, y)
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(c.GateByName("z").Type)
+	// Output: NAND
+}
+
+func ExampleCircuit_Combinational() {
+	c, _ := circuit.ParseBenchString("seq", `
+INPUT(in)
+OUTPUT(out)
+d = NAND(in, q)
+q = DFF(d)
+out = NOT(q)
+`)
+	comb, err := c.Combinational()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sequential=%v PIs=%d POs=%d\n", comb.IsSequential(), len(comb.PIs), len(comb.POs))
+	// Output: sequential=false PIs=2 POs=2
+}

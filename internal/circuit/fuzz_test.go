@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench drives the netlist parser with arbitrary text: it must
+// never panic, and anything it accepts must be a structurally valid circuit
+// that survives a write/re-parse round trip.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		c17Bench,
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		"INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n",
+		"# only a comment\n",
+		"INPUT(a)\ny = NAND(a, a)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",
+		"INPUT(a)\ny = NOT(\n",
+		"garbage = = (((\n",
+		"INPUT(é)\nOUTPUT(z)\nz = BUFF(é)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBenchString("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v\ninput: %q", verr, src)
+		}
+		// Accepted netlists round-trip (up to renumbering).
+		out := BenchString(c)
+		back, err := ParseBenchString("fuzz", out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nwritten: %q", err, out)
+		}
+		if back.N() != c.N() {
+			t.Fatalf("round trip changed gate count: %d vs %d", back.N(), c.N())
+		}
+	})
+}
+
+// FuzzBuilderNames stresses gate naming through the builder path.
+func FuzzBuilderNames(f *testing.F) {
+	f.Add("a", "g")
+	f.Add("weird name", "ok")
+	f.Add("", "x")
+	f.Fuzz(func(t *testing.T, inName, gateName string) {
+		b := NewBuilder("fz")
+		in := b.Input(inName)
+		g := b.Gate(Not, gateName, in)
+		b.Output(g)
+		c, err := b.Build()
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(inName) == "" && inName == "" {
+			t.Fatal("empty input name accepted")
+		}
+		if c.GateByName(gateName) == nil {
+			t.Fatalf("gate %q lost", gateName)
+		}
+	})
+}
+
+// FuzzParseVerilog mirrors FuzzParseBench for the Verilog frontend.
+func FuzzParseVerilog(f *testing.F) {
+	seeds := []string{
+		"module t (a, y);\ninput a;\noutput y;\nnot u1 (y, a);\nendmodule\n",
+		"module t (a);\ninput a;\nendmodule\n",
+		"module t (a, y);\ninput a;\noutput y;\nfrob u1 (y, a);\nendmodule\n",
+		"// nothing\n",
+		"module m (x); /* unterminated",
+		"module t (a, q);\ninput a;\noutput q;\ndff u1 (q, a);\nendmodule\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseVerilogString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v\ninput: %q", verr, src)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLowPowerJointReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := LowPower([]string{"-circuit", "s27", "-mode", "joint"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"circuit    s27", "method     joint", "feasible   true",
+		"Vdd", "static E", "dynamic E", "total E", "tub bias"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLowPowerModes(t *testing.T) {
+	for _, mode := range []string{"baseline", "multivt"} {
+		var out bytes.Buffer
+		if err := LowPower([]string{"-circuit", "s27", "-mode", mode, "-M", "8"}, &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := LowPower([]string{"-circuit", "s27", "-mode", "frob"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestLowPowerFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // neither circuit nor bench
+		{"-circuit", "nosuch"},                  // unknown benchmark
+		{"-circuit", "s27", "-bench", "x"},      // both sources
+		{"-circuit", "s27", "-fc", "0"},         // bad frequency
+		{"-bench", "/nonexistent/file.bench"},   // missing file
+		{"-circuit", "s27", "-tech", "/no/way"}, // missing tech file
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := LowPower(args, &out); err == nil {
+			t.Errorf("case %d (%v): accepted", i, args)
+		}
+	}
+}
+
+func TestSaveVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	designPath := filepath.Join(dir, "d.json")
+	var out bytes.Buffer
+	if err := LowPower([]string{"-circuit", "s27", "-save", designPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(designPath); err != nil {
+		t.Fatalf("design not written: %v", err)
+	}
+	out.Reset()
+	if err := Verify([]string{"-design", designPath, "-circuit", "s27"}, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "TIMING PASS") {
+		t.Errorf("missing pass marker:\n%s", out.String())
+	}
+	// The same design must fail sign-off at a doubled clock.
+	out.Reset()
+	if err := Verify([]string{"-design", designPath, "-circuit", "s27", "-fc", "6e8"}, &out); err == nil {
+		t.Error("doubled clock passed sign-off")
+	}
+	if !strings.Contains(out.String(), "TIMING FAIL") {
+		t.Errorf("missing fail marker:\n%s", out.String())
+	}
+}
+
+func TestVerifyFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := Verify([]string{"-circuit", "s27"}, &out); err == nil {
+		t.Error("missing -design accepted")
+	}
+	if err := Verify([]string{"-design", "/no/file", "-circuit", "s27"}, &out); err == nil {
+		t.Error("missing design file accepted")
+	}
+}
+
+func TestLowPowerWithBenchFileAndTechFile(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "t.bench")
+	netlist := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g = NAND(a, b)
+y = NOT(g)
+`
+	if err := os.WriteFile(benchPath, []byte(netlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	techPath := filepath.Join(dir, "t.tech")
+	if err := os.WriteFile(techPath, []byte("name = test\nksat = 3e-5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := LowPower([]string{"-bench", benchPath, "-tech", techPath, "-fc", "1e8"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "feasible   true") {
+		t.Errorf("expected feasible run:\n%s", out.String())
+	}
+}
+
+func TestLowPowerWithVerilogFile(t *testing.T) {
+	dir := t.TempDir()
+	vPath := filepath.Join(dir, "t.v")
+	src := `
+module t (a, b, y);
+  input a, b;
+  output y;
+  wire g;
+  nand u1 (g, a, b);
+  not  u2 (y, g);
+endmodule
+`
+	if err := os.WriteFile(vPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := LowPower([]string{"-bench", vPath, "-fc", "1e8"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "circuit    t ") {
+		t.Errorf("module name missing:\n%s", out.String())
+	}
+}
+
+func TestECOFlow(t *testing.T) {
+	dir := t.TempDir()
+	oldBench := filepath.Join(dir, "old.bench")
+	newBench := filepath.Join(dir, "new.bench")
+	oldNetlist := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOT(g1)
+y = NOT(g2)
+`
+	// The edit adds one observer gate.
+	newNetlist := oldNetlist + "OUTPUT(z)\nz = XOR(g1, g2)\n"
+	if err := os.WriteFile(oldBench, []byte(oldNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newBench, []byte(newNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	designPath := filepath.Join(dir, "old.json")
+	var out bytes.Buffer
+	if err := LowPower([]string{"-bench", oldBench, "-fc", "1e8", "-save", designPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	newDesign := filepath.Join(dir, "new.json")
+	if err := ECO([]string{"-design", designPath, "-prev", oldBench, "-bench", newBench,
+		"-fc", "1e8", "-save", newDesign}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "reused     3/4") {
+		t.Errorf("expected 3/4 gates reused:\n%s", s)
+	}
+	if !strings.Contains(s, "feasible   true") {
+		t.Errorf("ECO result infeasible:\n%s", s)
+	}
+	// The updated design verifies against the edited netlist.
+	out.Reset()
+	if err := Verify([]string{"-design", newDesign, "-bench", newBench, "-fc", "1e8"}, &out); err != nil {
+		t.Fatalf("verify after ECO: %v\n%s", err, out.String())
+	}
+}
+
+func TestECOFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := ECO([]string{"-design", "x.json"}, &out); err == nil {
+		t.Error("missing -prev accepted")
+	}
+	if err := ECO([]string{"-prev", "x.bench"}, &out); err == nil {
+		t.Error("missing -design accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Area-aware optimization. The wiring model's gate pitch is normally a
+// constant, but the die the optimizer produces depends on its own widths:
+// wider transistors stretch the standard cells, the placement grows, every
+// wire gets longer, and the added load asks for still more width. This
+// closes that loop: optimize, re-derive the pitch from the average cell
+// width, re-elaborate, and repeat to convergence — the a-priori analogue of
+// a placement-timing iteration.
+
+// AreaAwareResult reports the converged design and the loop's trajectory.
+type AreaAwareResult struct {
+	Result     *Result
+	Iterations int
+	// PitchRatio is the final gate pitch over the technology's nominal one.
+	PitchRatio float64
+}
+
+// cellWidthAreaFrac is the fraction of nominal cell area that scales with
+// the width multiplier (the rest is fixed overhead: wells, rails, spacing).
+const cellWidthAreaFrac = 0.35
+
+// OptimizeAreaAware runs the joint optimizer inside the area-wiring
+// fixed-point loop, up to maxIter iterations or until the pitch moves by
+// less than 1 %.
+func OptimizeAreaAware(spec Spec, opts Options, maxIter int) (*AreaAwareResult, error) {
+	if maxIter < 1 || maxIter > 10 {
+		return nil, fmt.Errorf("core: maxIter %d outside [1,10]", maxIter)
+	}
+	nominal := spec.Wiring.GatePitch
+	ratio := 1.0
+	var res *Result
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		s := spec
+		s.Wiring.GatePitch = nominal * ratio
+		p, err := NewProblem(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err = p.OptimizeJoint(opts)
+		if err != nil {
+			return nil, err
+		}
+		// Average cell width → area → pitch.
+		var sumW float64
+		n := 0
+		for i := range p.C.Gates {
+			if p.C.Gates[i].IsLogic() {
+				sumW += res.Assignment.W[i]
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+		avgW := sumW / float64(n)
+		next := math.Sqrt((1 - cellWidthAreaFrac) + cellWidthAreaFrac*avgW)
+		if math.Abs(next-ratio)/ratio < 0.01 {
+			ratio = next
+			break
+		}
+		ratio = next
+	}
+	return &AreaAwareResult{Result: res, Iterations: iters, PitchRatio: ratio}, nil
+}

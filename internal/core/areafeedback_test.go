@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+func TestOptimizeAreaAwareConverges(t *testing.T) {
+	spec := specFor(s298(t), 0.5)
+	aa, err := OptimizeAreaAware(spec, DefaultOptions(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aa.Result.Feasible {
+		t.Fatal("area-aware result infeasible")
+	}
+	if aa.Iterations < 1 || aa.Iterations > 5 {
+		t.Errorf("iterations = %d", aa.Iterations)
+	}
+	// Widths average above 1, so the converged pitch is above nominal but
+	// bounded (the loop must not run away).
+	if aa.PitchRatio < 1.0 || aa.PitchRatio > 2.0 {
+		t.Errorf("pitch ratio %v implausible", aa.PitchRatio)
+	}
+	// The honest (longer-wire) energy is at least the fixed-pitch figure.
+	p, err := NewProblem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := p.OptimizeJoint(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aa.Result.Energy.Total() < fixed.Energy.Total()*0.98 {
+		t.Errorf("area-aware energy %v implausibly below fixed-pitch %v",
+			aa.Result.Energy.Total(), fixed.Energy.Total())
+	}
+}
+
+func TestOptimizeAreaAwareValidation(t *testing.T) {
+	spec := specFor(smallCircuit(t), 0.5)
+	if _, err := OptimizeAreaAware(spec, DefaultOptions(), 0); err == nil {
+		t.Error("maxIter=0 accepted")
+	}
+	if _, err := OptimizeAreaAware(spec, DefaultOptions(), 50); err == nil {
+		t.Error("maxIter=50 accepted")
+	}
+	bad := spec
+	bad.Fc = 0
+	if _, err := OptimizeAreaAware(bad, DefaultOptions(), 3); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

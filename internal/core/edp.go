@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's introduction contrasts its fixed-performance formulation with
+// the metric of its reference [2] (Burr & Shott): minimize energy·delay when
+// no hard clock target exists, trading the two off instead of pinning one.
+// EDPStudy provides that mode: it sweeps the required clock frequency,
+// re-runs the joint optimizer at each point, and reports the
+// energy-per-cycle × critical-delay product, whose interior minimum is the
+// "most efficient" operating point of the design.
+
+// EDPPoint is one sample of the energy-delay-product sweep.
+type EDPPoint struct {
+	Fc     float64 // the clock target of this sample (Hz)
+	Result *Result // joint optimization result at that target
+	EDP    float64 // Energy.Total() · CriticalDelay (J·s)
+}
+
+// EDPStudy sweeps clock targets and returns all feasible samples plus the
+// index of the EDP-minimal one. Infeasible targets are skipped; it fails
+// only when no target is feasible.
+func EDPStudy(spec Spec, fcs []float64, opts Options) ([]EDPPoint, int, error) {
+	if len(fcs) == 0 {
+		return nil, -1, fmt.Errorf("core: EDP study needs at least one clock target")
+	}
+	var out []EDPPoint
+	bestIdx := -1
+	bestEDP := math.Inf(1)
+	for _, fc := range fcs {
+		s := spec
+		s.Fc = fc
+		p, err := NewProblem(s)
+		if err != nil {
+			return nil, -1, fmt.Errorf("core: EDP study at fc=%v: %w", fc, err)
+		}
+		res, err := p.OptimizeJoint(opts)
+		if err != nil {
+			continue // this clock target is infeasible; skip the sample
+		}
+		pt := EDPPoint{Fc: fc, Result: res, EDP: res.Energy.Total() * res.CriticalDelay}
+		if pt.EDP < bestEDP {
+			bestEDP = pt.EDP
+			bestIdx = len(out)
+		}
+		out = append(out, pt)
+	}
+	if bestIdx < 0 {
+		return nil, -1, fmt.Errorf("core: no feasible clock target in the EDP sweep")
+	}
+	return out, bestIdx, nil
+}

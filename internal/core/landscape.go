@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cmosopt/internal/design"
+	"cmosopt/internal/optimize"
+)
+
+// Landscape samples the constrained energy surface E*(V_dd, V_ts) — the
+// total energy after the width solve, +Inf where the timing constraint
+// cannot be met — on a grid over the technology's search ranges. It makes
+// the §3 physics visible: the feasibility wall at low supply, the leakage
+// cliff at low threshold, and the unique interior optimum where they
+// balance.
+type Landscape struct {
+	Vdd []float64   // grid abscissae (rows)
+	Vts []float64   // grid ordinates (columns)
+	E   [][]float64 // E[i][j] at (Vdd[i], Vts[j]); +Inf = infeasible
+}
+
+// SampleLandscape evaluates an nVdd × nVts grid. Each sample is a full
+// width solve, so keep the grid modest (8×8 ≈ one Procedure 2 run).
+func (p *Problem) SampleLandscape(nVdd, nVts int, opts Options) (*Landscape, error) {
+	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if nVdd < 2 || nVts < 2 {
+		return nil, fmt.Errorf("core: landscape grid %dx%d too small", nVdd, nVts)
+	}
+	ls := &Landscape{
+		Vdd: optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}.Linspace(nVdd),
+		Vts: optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}.Linspace(nVts),
+	}
+	ls.E = make([][]float64, nVdd)
+	for i, vdd := range ls.Vdd {
+		ls.E[i] = make([]float64, nVts)
+		for j, vts := range ls.Vts {
+			e, _, ok := p.evalPoint(vdd, vts, &opts)
+			if !ok {
+				e = math.Inf(1)
+			}
+			ls.E[i][j] = e
+		}
+	}
+	return ls, nil
+}
+
+// Min returns the grid minimum and its coordinates; ok is false when the
+// whole grid is infeasible.
+func (l *Landscape) Min() (vdd, vts, e float64, ok bool) {
+	e = math.Inf(1)
+	for i := range l.E {
+		for j, v := range l.E[i] {
+			if v < e {
+				e = v
+				vdd, vts = l.Vdd[i], l.Vts[j]
+				ok = true
+			}
+		}
+	}
+	return vdd, vts, e, ok
+}
+
+// FeasibleFraction reports how much of the grid meets timing.
+func (l *Landscape) FeasibleFraction() float64 {
+	total, feas := 0, 0
+	for i := range l.E {
+		for _, v := range l.E[i] {
+			total++
+			if !math.IsInf(v, 1) {
+				feas++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(feas) / float64(total)
+}
+
+// PolishNelderMead refines an optimizer result with a bounded downhill
+// simplex over (V_dd, V_ts), the width solver underneath — an alternative to
+// the golden-section polish for the steering ablation. The returned result
+// is never worse than the input.
+func (p *Problem) PolishNelderMead(res *Result, opts Options) (*Result, error) {
+	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(res.VtsValues) != 1 {
+		return res, nil // only single-threshold results have a 2-D surface
+	}
+	evals0 := p.evaluations
+	bestE := res.Energy.Total()
+	var bestA *design.Assignment
+	obj := func(x []float64) float64 {
+		e, a, ok := p.evalPoint(x[0], x[1], &opts)
+		if !ok {
+			return math.Inf(1)
+		}
+		if e < bestE {
+			bestE, bestA = e, a
+		}
+		return e
+	}
+	bounds := []optimize.Range{
+		{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax},
+		{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax},
+	}
+	optimize.NelderMead(obj, []float64{res.Vdd, res.VtsValues[0]}, bounds, 0.05, 1e-18, 60)
+	if bestA == nil {
+		return res, nil
+	}
+	out := p.finishResult(res.Method+"+nm", bestA, true, evals0)
+	out.Objective = bestE
+	out.Evaluations += res.Evaluations
+	return out, nil
+}

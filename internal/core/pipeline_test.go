@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/design"
+	"cmosopt/internal/netgen"
+)
+
+// TestFullPipeline walks the complete user journey in-process: write a
+// sequential netlist to .bench text, re-parse it, elaborate the problem (DFF
+// cut inside), optimize, save the design to JSON, load it back against a
+// *fresh* parse of the same netlist, and verify timing and energy reproduce
+// exactly.
+func TestFullPipeline(t *testing.T) {
+	// 1. A sequential netlist, via the generator + sequentializer, rendered
+	// to the interchange format and re-parsed (exactly what a user's file
+	// would go through).
+	comb, err := netgen.Generate(netgen.Config{Name: "pipe", Gates: 70, Depth: 7, PIs: 5, POs: 4, DFFs: 6}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := netgen.Sequentialize(comb, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := circuit.BenchString(seq)
+	parsed, err := circuit.ParseBenchString("pipe-seq", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.IsSequential() {
+		t.Fatal("netlist lost its flops in transit")
+	}
+
+	// 2. Elaborate and optimize.
+	p, err := NewProblem(specFor(parsed, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.OptimizeJoint(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("optimization infeasible")
+	}
+
+	// 3. Save the design, then bind it to a completely fresh parse (new gate
+	// IDs) via names.
+	var buf bytes.Buffer
+	if err := design.Save(&buf, p.C, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := circuit.ParseBenchString("pipe-seq", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProblem(specFor(fresh, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The saved file describes the cut circuit; bind against p2.C.
+	loaded, err := design.Load(&buf, p2.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Verification must reproduce the optimizer's numbers bit-for-bit
+	// (same models, same values, different gate numbering).
+	cd := p2.Delay.CriticalDelay(loaded)
+	if math.Abs(cd-res.CriticalDelay)/res.CriticalDelay > 1e-12 {
+		t.Errorf("critical delay %v != optimizer's %v", cd, res.CriticalDelay)
+	}
+	e := p2.Power.Total(loaded)
+	if math.Abs(e.Total()-res.Energy.Total())/res.Energy.Total() > 1e-12 {
+		t.Errorf("energy %v != optimizer's %v", e.Total(), res.Energy.Total())
+	}
+	if cd > p2.CycleBudget() {
+		t.Error("sign-off failed on a feasible design")
+	}
+}

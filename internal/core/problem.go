@@ -1,0 +1,259 @@
+// Package core implements the paper's power-minimization algorithms: the
+// Procedure 1 + Procedure 2 heuristic that jointly selects the module supply
+// voltage, one or more threshold voltages and per-gate device widths under a
+// cycle-time constraint; the conventional fixed-threshold baseline it is
+// compared against (Table 1); a multi-pass simulated-annealing comparator
+// (§5); and the process-variation and cycle-slack studies of Figure 2.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cmosopt/internal/activity"
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/delay"
+	"cmosopt/internal/design"
+	"cmosopt/internal/device"
+	"cmosopt/internal/power"
+	"cmosopt/internal/timing"
+	"cmosopt/internal/wiring"
+)
+
+// Spec describes one optimization problem instance: the paper's "Given"
+// clause (§2).
+type Spec struct {
+	Circuit *circuit.Circuit // may be sequential; DFFs are cut automatically
+	Tech    device.Tech
+	Wiring  wiring.Params
+	Fc      float64 // required clock frequency (Hz)
+	Skew    float64 // clock-skew derating b ∈ (0,1]; budget is b/Fc
+
+	// Input activity: either a uniform (Prob, Density) applied to every
+	// primary input, or an explicit per-PI map (by gate name).
+	InputProb    float64
+	InputDensity float64
+	Inputs       map[string]activity.InputSpec // optional override
+
+	// Budget repair parameters (see timing.RepairBudgets). Zero values take
+	// the defaults kappa = 0.16, gamma = 0.75, which track the delay model's
+	// slope coefficient over the search range.
+	RepairKappa float64
+	RepairGamma float64
+
+	// SampleNets draws an individual wire length per net from the full
+	// Davis distribution (deterministically from NetSeed) instead of using
+	// the distribution's mean for every net — wire-load variance then
+	// reaches the delay and energy models.
+	SampleNets bool
+	NetSeed    int64
+
+	// CorrelatedActivity replaces the first-order Najm propagation with the
+	// correlation-coefficient engine (the paper's [11] direction) for both
+	// signal probabilities and transition densities. Quadratic memory in the
+	// circuit size; limited to module-scale networks (≤ ~1000 gates).
+	CorrelatedActivity bool
+}
+
+// Problem is a fully elaborated optimization instance: combinational circuit,
+// activity profile, wiring model, model evaluators, and per-gate delay
+// budgets from Procedure 1.
+type Problem struct {
+	C       *circuit.Circuit
+	Tech    device.Tech
+	Act     *activity.Profile
+	Wire    *wiring.Model
+	Power   *power.Evaluator
+	Delay   *delay.Evaluator
+	Timing  *timing.Analysis
+	Budgets *timing.BudgetResult
+	Fc      float64
+	Skew    float64
+
+	evaluations int // full-circuit width-solve evaluations (O(M³) accounting)
+}
+
+// NewProblem elaborates a Spec: cuts DFFs, propagates activities, builds the
+// wiring and model evaluators, and runs Procedure 1 (with repair) to budget
+// every gate.
+func NewProblem(s Spec) (*Problem, error) {
+	if s.Circuit == nil {
+		return nil, fmt.Errorf("core: nil circuit")
+	}
+	if s.Fc <= 0 {
+		return nil, fmt.Errorf("core: clock frequency %v must be positive", s.Fc)
+	}
+	if s.Skew <= 0 || s.Skew > 1 {
+		return nil, fmt.Errorf("core: skew factor %v outside (0,1]", s.Skew)
+	}
+	if err := s.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	c := s.Circuit
+	if c.IsSequential() {
+		var err error
+		if c, err = c.Combinational(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Activity profile.
+	specs := make(map[int]activity.InputSpec, len(c.PIs))
+	for _, id := range c.PIs {
+		specs[id] = activity.InputSpec{Prob: s.InputProb, Density: s.InputDensity}
+	}
+	for name, is := range s.Inputs {
+		g := c.GateByName(name)
+		if g == nil || g.Type != circuit.Input {
+			return nil, fmt.Errorf("core: input spec for %q does not name a primary input", name)
+		}
+		specs[g.ID] = is
+	}
+	act, err := activity.Propagate(c, specs)
+	if err != nil {
+		return nil, err
+	}
+	if s.CorrelatedActivity {
+		const corrGateLimit = 1000 // O(signals²) memory beyond this
+		if n := c.NumLogic(); n > corrGateLimit {
+			return nil, fmt.Errorf("core: correlated activity limited to %d gates, circuit has %d", corrGateLimit, n)
+		}
+		corr, err := activity.CorrelatedProbabilities(c, specs)
+		if err != nil {
+			return nil, err
+		}
+		act = &activity.Profile{Prob: corr.Prob, Density: corr.Density}
+	}
+
+	wire, err := wiring.New(s.Wiring, maxInt(c.NumLogic(), 1))
+	if err != nil {
+		return nil, err
+	}
+	if s.SampleNets {
+		wire.SampleNets(c.N(), s.NetSeed)
+	}
+	pe, err := power.New(c, &s.Tech, act, wire, s.Fc)
+	if err != nil {
+		return nil, err
+	}
+	de, err := delay.New(c, &s.Tech, wire)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := timing.NewAnalysis(c)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := s.Skew / s.Fc
+	bres, err := timing.AssignBudgets(ta, budget)
+	if err != nil {
+		return nil, err
+	}
+	// Defaults track the slope coefficient of the delay model over the
+	// search range (≈0.08–0.16 for this technology's α).
+	kappa, gamma := s.RepairKappa, s.RepairGamma
+	if kappa == 0 {
+		kappa = 0.16
+	}
+	if gamma == 0 {
+		gamma = 0.75
+	}
+	if _, err := timing.RepairBudgets(ta, bres, kappa, gamma); err != nil {
+		return nil, err
+	}
+
+	p := &Problem{
+		C:       c,
+		Tech:    s.Tech,
+		Act:     act,
+		Wire:    wire,
+		Power:   pe,
+		Delay:   de,
+		Timing:  ta,
+		Budgets: bres,
+		Fc:      s.Fc,
+		Skew:    s.Skew,
+	}
+	p.repairUnreachableBudgets()
+	return p, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CycleBudget returns the skew-derated cycle time b·T_c.
+func (p *Problem) CycleBudget() float64 { return p.Skew / p.Fc }
+
+// Evaluations returns the number of full-circuit width solves performed so
+// far (the unit of the paper's O(M³) complexity claim).
+func (p *Problem) Evaluations() int { return p.evaluations }
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Method        string
+	Assignment    *design.Assignment
+	Energy        power.Breakdown // per-cycle energy at the solution
+	CriticalDelay float64         // achieved critical path delay (s)
+	Feasible      bool            // critical delay ≤ b·T_c with all budgets met
+	Vdd           float64
+	VtsValues     []float64 // distinct threshold voltages in use
+	Evaluations   int       // full-circuit evaluations consumed by this run
+	// Objective is the energy metric the optimizer minimized: equal to
+	// Energy.Total() at nominal corners, and the worst-case (leaky-corner)
+	// energy in variation studies.
+	Objective float64
+}
+
+// Savings returns the total-energy ratio other/this (how many times less
+// energy this result consumes than other).
+func (r *Result) Savings(other *Result) float64 {
+	t := r.Energy.Total()
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return other.Energy.Total() / t
+}
+
+func (p *Problem) finishResult(method string, a *design.Assignment, feasible bool, evalsBefore int) *Result {
+	e := p.Power.Total(a)
+	return &Result{
+		Method:        method,
+		Assignment:    a,
+		Energy:        e,
+		CriticalDelay: p.Delay.CriticalDelay(a),
+		Feasible:      feasible && p.Delay.CriticalDelay(a) <= p.CycleBudget()*(1+1e-9),
+		Vdd:           a.Vdd,
+		VtsValues:     p.distinctLogicVts(a),
+		Evaluations:   p.evaluations - evalsBefore,
+		Objective:     e.Total(),
+	}
+}
+
+// distinctLogicVts returns the set of distinct thresholds actually used by
+// logic gates (Input-gate placeholder entries are ignored).
+func (p *Problem) distinctLogicVts(a *design.Assignment) []float64 {
+	const tol = 1e-9
+	var out []float64
+	for i := range p.C.Gates {
+		if !p.C.Gates[i].IsLogic() {
+			continue
+		}
+		v := a.Vts[i]
+		seen := false
+		for _, u := range out {
+			if math.Abs(u-v) < tol {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cmosopt/internal/design"
+	"cmosopt/internal/optimize"
+)
+
+// Options parameterizes the heuristic optimizers.
+type Options struct {
+	// M is the number of bisection steps in each of Procedure 2's nested
+	// loops (the paper's M; total cost is O(M³) circuit evaluations).
+	M int
+	// WidthPasses is the number of fixed-point sweeps in the width solver.
+	// 1 reproduces the paper's literal single pass.
+	WidthPasses int
+	// FixedVt, when > 0, pins every gate's threshold (the Table 1 baseline
+	// uses 0.7 V) and optimizes only Vdd and widths.
+	FixedVt float64
+	// FixedVdd, when > 0, additionally pins the supply in OptimizeBaseline,
+	// leaving only widths free — the conventional full-supply reference
+	// design (the paper's Table 1 runs returned Vdd ≈ 3.3 V, making its
+	// reference numerically a fixed-3.3 V design).
+	FixedVdd float64
+	// Refine runs a local grid + golden-section polish over (Vdd, Vts)
+	// around the best point after the directional bisection ends. Costlier,
+	// used by the steering ablation.
+	Refine bool
+	// VtTimingFactor scales thresholds during delay evaluation (slow process
+	// corner, ≥ 1 in variation studies). Zero means 1 (nominal).
+	VtTimingFactor float64
+	// VtPowerFactor scales thresholds during energy evaluation (leaky
+	// process corner, ≤ 1 in variation studies). Zero means 1 (nominal).
+	VtPowerFactor float64
+}
+
+// DefaultOptions returns the settings used for the paper's result tables.
+func DefaultOptions() Options {
+	return Options{M: 12, WidthPasses: 4}
+}
+
+func (o *Options) fill() {
+	if o.M == 0 {
+		o.M = 12
+	}
+	if o.WidthPasses == 0 {
+		o.WidthPasses = 4
+	}
+	if o.VtTimingFactor == 0 {
+		o.VtTimingFactor = 1
+	}
+	if o.VtPowerFactor == 0 {
+		o.VtPowerFactor = 1
+	}
+}
+
+func (o *Options) validate() error {
+	if o.M < 1 || o.M > 64 {
+		return fmt.Errorf("core: M = %d outside [1,64]", o.M)
+	}
+	if o.WidthPasses < 1 || o.WidthPasses > 32 {
+		return fmt.Errorf("core: WidthPasses = %d outside [1,32]", o.WidthPasses)
+	}
+	if o.VtTimingFactor < 1 {
+		return fmt.Errorf("core: VtTimingFactor %v < 1 (timing corner must be slow)", o.VtTimingFactor)
+	}
+	if o.VtPowerFactor <= 0 || o.VtPowerFactor > 1 {
+		return fmt.Errorf("core: VtPowerFactor %v outside (0,1]", o.VtPowerFactor)
+	}
+	return nil
+}
+
+// evalPoint solves widths at one (Vdd, Vts) candidate and returns the
+// objective energy (corner-adjusted when variation factors are set), the
+// solved nominal assignment, and feasibility. Infeasible points get +Inf.
+func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assignment, bool) {
+	n := p.C.N()
+	// Timing view: thresholds at the slow corner share the width slice with
+	// the nominal assignment, so the width solve writes through.
+	nominal := design.Uniform(n, vdd, vts, p.Tech.WMin)
+	timingView := nominal
+	if o.VtTimingFactor != 1 {
+		timingView = &design.Assignment{Vdd: vdd, Vts: make([]float64, n), W: nominal.W}
+		for i := range timingView.Vts {
+			timingView.Vts[i] = vts * o.VtTimingFactor
+		}
+	}
+	ok := p.solveWidths(timingView, o.M, o.WidthPasses)
+	if !ok {
+		return math.Inf(1), nominal, false
+	}
+	powerView := nominal
+	if o.VtPowerFactor != 1 {
+		powerView = &design.Assignment{Vdd: vdd, Vts: make([]float64, n), W: nominal.W}
+		for i := range powerView.Vts {
+			powerView.Vts[i] = vts * o.VtPowerFactor
+		}
+	}
+	return p.Power.Total(powerView).Total(), nominal, true
+}
+
+// OptimizeJoint runs the paper's Procedure 2: nested directional bisection of
+// the Vdd and Vts ranges with a per-gate minimum-width binary search inside,
+// steered by "all delay budgets met and total energy decreased". The best
+// feasible point seen anywhere during the search is returned (the procedure's
+// final iterate is never better than its incumbent).
+func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
+	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.FixedVt != 0 {
+		return nil, fmt.Errorf("core: OptimizeJoint with FixedVt set; use OptimizeBaseline")
+	}
+	evals0 := p.evaluations
+
+	type incumbent struct {
+		e   float64
+		a   *design.Assignment
+		vdd float64
+		vts float64
+		ok  bool
+	}
+	best := incumbent{e: math.Inf(1)}
+
+	consider := func(e float64, a *design.Assignment, vdd, vts float64, ok bool) {
+		if ok && e < best.e {
+			best = incumbent{e: e, a: a, vdd: vdd, vts: vts, ok: true}
+		}
+	}
+
+	// evalVts runs the middle (threshold) loop at one supply voltage and
+	// returns the best objective found there.
+	evalVts := func(vdd float64) float64 {
+		vtsR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
+		bestHere := math.Inf(1)
+		prev := math.Inf(1)
+		for j := 0; j < opts.M; j++ {
+			vts := vtsR.Mid()
+			e, a, ok := p.evalPoint(vdd, vts, &opts)
+			consider(e, a, vdd, vts, ok)
+			if e < bestHere {
+				bestHere = e
+			}
+			// Paper: feasible and energy decreased → raise the threshold
+			// range (chase lower leakage); otherwise lower it (buy speed).
+			if ok && e <= prev {
+				vtsR = vtsR.Higher()
+			} else {
+				vtsR = vtsR.Lower()
+			}
+			if e < prev {
+				prev = e
+			}
+		}
+		return bestHere
+	}
+
+	vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
+	prevVdd := math.Inf(1)
+	for i := 0; i < opts.M; i++ {
+		vdd := vddR.Mid()
+		e := evalVts(vdd)
+		// Paper: feasible and energy decreased → lower the supply range
+		// (chase lower switching energy); otherwise raise it.
+		if !math.IsInf(e, 1) && e <= prevVdd {
+			vddR = vddR.Lower()
+		} else {
+			vddR = vddR.Higher()
+		}
+		if e < prevVdd {
+			prevVdd = e
+		}
+	}
+
+	if opts.Refine && best.ok {
+		p.refine(&best.e, &best.a, &best.vdd, &best.vts, &opts)
+	}
+
+	if !best.ok {
+		return nil, fmt.Errorf("core: no feasible design point for %q at fc=%v (budget %v s)", p.C.Name, p.Fc, p.CycleBudget())
+	}
+	res := p.finishResult("joint", best.a, true, evals0)
+	res.Objective = best.e
+	return res, nil
+}
+
+// refine polishes the incumbent with a local search around it: a coarse grid
+// pre-scan (robust against the infeasible plateaus that break pure
+// golden-section bracketing — at low V_dd most of the V_ts range is
+// infeasible and evaluates to +Inf), then golden-section over V_ts at the
+// best few supplies near the incumbent.
+func (p *Problem) refine(bestE *float64, bestA **design.Assignment, bestVdd, bestVts *float64, opts *Options) {
+	track := func(vdd, vts float64) float64 {
+		e, a, ok := p.evalPoint(vdd, vts, opts)
+		if ok && e < *bestE {
+			*bestE, *bestA, *bestVdd, *bestVts = e, a, vdd, vts
+		}
+		return e
+	}
+	// Local supply candidates around the incumbent (multiplicative steps so
+	// the scan is scale-free).
+	for _, f := range []float64{0.85, 0.93, 1.0, 1.08, 1.18} {
+		vdd := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}.Clamp(*bestVdd * f)
+		// Robust threshold scan, then a short golden polish around it.
+		vtR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
+		gx, ge := optimize.GridMin(func(v float64) float64 { return track(vdd, v) }, vtR, 9)
+		if math.IsInf(ge, 1) {
+			continue
+		}
+		step := vtR.Width() / 8
+		local := optimize.Range{Lo: vtR.Clamp(gx - step), Hi: vtR.Clamp(gx + step)}
+		optimize.GoldenSection(func(v float64) float64 { return track(vdd, v) }, local, 1e-3, 12)
+	}
+}
+
+// OptimizeBaseline reproduces the paper's Table 1 reference flow: the
+// threshold voltage is pinned (700 mV in the paper) and only the supply
+// voltage and device widths are optimized, with the same steering rule.
+func (p *Problem) OptimizeBaseline(opts Options) (*Result, error) {
+	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	vt := opts.FixedVt
+	if vt == 0 {
+		vt = 0.7
+	}
+	if vt < p.Tech.VtsMin || vt > p.Tech.VtsMax {
+		return nil, fmt.Errorf("core: fixed Vt %v outside tech range [%v,%v]", vt, p.Tech.VtsMin, p.Tech.VtsMax)
+	}
+	evals0 := p.evaluations
+
+	bestE := math.Inf(1)
+	var bestA *design.Assignment
+	method := "baseline"
+	if opts.FixedVdd > 0 {
+		// Widths-only reference at a pinned supply.
+		if opts.FixedVdd < p.Tech.VddMin || opts.FixedVdd > p.Tech.VddMax {
+			return nil, fmt.Errorf("core: fixed Vdd %v outside tech range [%v,%v]", opts.FixedVdd, p.Tech.VddMin, p.Tech.VddMax)
+		}
+		method = "baseline-fixed-vdd"
+		e, a, ok := p.evalPoint(opts.FixedVdd, vt, &opts)
+		if ok {
+			bestE, bestA = e, a
+		}
+	} else {
+		vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
+		prev := math.Inf(1)
+		for i := 0; i < opts.M; i++ {
+			vdd := vddR.Mid()
+			e, a, ok := p.evalPoint(vdd, vt, &opts)
+			if ok && e < bestE {
+				bestE, bestA = e, a
+			}
+			if ok && e <= prev {
+				vddR = vddR.Lower()
+			} else {
+				vddR = vddR.Higher()
+			}
+			if e < prev {
+				prev = e
+			}
+		}
+	}
+	if bestA == nil {
+		return nil, fmt.Errorf("core: no feasible baseline design for %q at fc=%v with Vt=%v", p.C.Name, p.Fc, vt)
+	}
+	res := p.finishResult(method, bestA, true, evals0)
+	res.Objective = bestE
+	return res, nil
+}

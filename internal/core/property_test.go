@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"cmosopt/internal/netgen"
+)
+
+// TestJointPropertiesAcrossRandomCircuits sweeps random circuit structures
+// and verifies the optimizer's contract on each: feasibility, never worse
+// than the fixed-Vt baseline, voltages inside the technology box, and the
+// width assignment within range.
+func TestJointPropertiesAcrossRandomCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-circuit optimization sweep")
+	}
+	cfgs := []netgen.Config{
+		{Name: "pa", Gates: 50, Depth: 5, PIs: 5, POs: 4},
+		{Name: "pb", Gates: 90, Depth: 10, PIs: 6, POs: 5, DFFs: 4},
+		{Name: "pc", Gates: 70, Depth: 7, PIs: 4, POs: 3, MaxFan: 3},
+	}
+	for i, cfg := range cfgs {
+		c, err := netgen.Generate(cfg, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := problemFor(t, c, 0.4)
+		base, err := p.OptimizeBaseline(DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s baseline: %v", cfg.Name, err)
+		}
+		joint, err := p.OptimizeJoint(DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s joint: %v", cfg.Name, err)
+		}
+		if !joint.Feasible || !base.Feasible {
+			t.Errorf("%s: infeasible results", cfg.Name)
+		}
+		if joint.Energy.Total() > base.Energy.Total() {
+			t.Errorf("%s: joint %v worse than baseline %v", cfg.Name, joint.Energy.Total(), base.Energy.Total())
+		}
+		if joint.Vdd < p.Tech.VddMin || joint.Vdd > p.Tech.VddMax {
+			t.Errorf("%s: Vdd %v out of range", cfg.Name, joint.Vdd)
+		}
+		for _, vt := range joint.VtsValues {
+			if vt < p.Tech.VtsMin || vt > p.Tech.VtsMax {
+				t.Errorf("%s: Vt %v out of range", cfg.Name, vt)
+			}
+		}
+		for gi := range p.C.Gates {
+			if !p.C.Gates[gi].IsLogic() {
+				continue
+			}
+			w := joint.Assignment.W[gi]
+			if w < p.Tech.WMin || w > p.Tech.WMax {
+				t.Errorf("%s: gate %d width %v out of range", cfg.Name, gi, w)
+			}
+		}
+		if joint.CriticalDelay > p.CycleBudget() {
+			t.Errorf("%s: cycle time violated", cfg.Name)
+		}
+	}
+}

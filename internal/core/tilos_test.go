@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"cmosopt/internal/design"
+)
+
+func TestSensitivitySizerMeetsTiming(t *testing.T) {
+	p := problemFor(t, smallCircuit(t), 0.5)
+	a := design.Uniform(p.C.N(), 1.0, 0.15, p.Tech.WMin)
+	if !p.sizeSensitivity(a, 0.25) {
+		t.Fatal("sizer failed at a comfortable operating point")
+	}
+	if cd := p.Delay.CriticalDelay(a); cd > p.CycleBudget() {
+		t.Errorf("critical delay %v exceeds budget %v", cd, p.CycleBudget())
+	}
+	// Widths stay in range.
+	for i := range p.C.Gates {
+		if !p.C.Gates[i].IsLogic() {
+			continue
+		}
+		if a.W[i] < p.Tech.WMin || a.W[i] > p.Tech.WMax {
+			t.Fatalf("gate %d width %v out of range", i, a.W[i])
+		}
+	}
+}
+
+func TestSensitivitySizerReportsInfeasible(t *testing.T) {
+	s := specFor(smallCircuit(t), 0.5)
+	s.Fc = 20e9
+	p, err := NewProblem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := design.Uniform(p.C.N(), 3.3, 0.1, p.Tech.WMin)
+	if p.sizeSensitivity(a, 0.25) {
+		t.Error("20 GHz accepted")
+	}
+}
+
+func TestJointSensitivityComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("greedy sizing across the voltage grid is slow")
+	}
+	p := problemFor(t, s298(t), 0.5)
+	budget, err := p.OptimizeJoint(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.M = 8 // the greedy sizer is costlier per point
+	sens, err := p.OptimizeJointSensitivity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sens.Feasible {
+		t.Fatal("sensitivity result infeasible")
+	}
+	if sens.CriticalDelay > p.CycleBudget() {
+		t.Error("cycle time violated")
+	}
+	// The two sizing philosophies should land within ~2x of each other —
+	// they search the same (Vdd, Vt) space with different width policies.
+	r := sens.Energy.Total() / budget.Energy.Total()
+	if r > 2.0 || r < 0.5 {
+		t.Errorf("sensitivity/budget energy ratio %v outside [0.5, 2]", r)
+	}
+	t.Logf("budget-driven %.3e J vs sensitivity-driven %.3e J (ratio %.2f)",
+		budget.Energy.Total(), sens.Energy.Total(), r)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cmosopt/internal/design"
+)
+
+// YieldResult summarizes a Monte-Carlo process-variation run: the paper's
+// Figure 2(a) handles variation with deterministic worst-case corners; this
+// complements it with the statistical view — per-gate thresholds drawn
+// independently around their nominal values, timing yield and the energy
+// distribution measured across the sampled dies.
+type YieldResult struct {
+	Samples     int
+	TimingYield float64 // fraction of dies meeting the cycle budget
+	MeanEnergy  float64 // mean per-cycle energy over all dies (J)
+	P95Energy   float64 // 95th-percentile per-cycle energy (J)
+	WorstDelay  float64 // worst sampled critical delay (s)
+}
+
+// YieldStudy samples `samples` dies: each logic gate's threshold is drawn
+// from N(V_ts·1, (sigmaFrac·V_ts)²), clamped positive, and the die's timing
+// and energy are evaluated with the fixed widths and supply of the given
+// design. Deterministic for a given seed.
+func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples int, seed int64) (*YieldResult, error) {
+	if sigmaFrac < 0 || sigmaFrac >= 1 {
+		return nil, fmt.Errorf("core: sigma fraction %v outside [0,1)", sigmaFrac)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("core: need at least one sample, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	budget := p.CycleBudget()
+	die := a.Clone()
+	energies := make([]float64, 0, samples)
+	pass := 0
+	worst := 0.0
+	var sum float64
+	for s := 0; s < samples; s++ {
+		for i := range a.Vts {
+			if !p.C.Gates[i].IsLogic() {
+				continue
+			}
+			vt := a.Vts[i] * (1 + sigmaFrac*rng.NormFloat64())
+			if vt < 1e-3 {
+				vt = 1e-3
+			}
+			die.Vts[i] = vt
+		}
+		cd := p.Delay.CriticalDelay(die)
+		if cd <= budget {
+			pass++
+		}
+		if cd > worst && !math.IsInf(cd, 1) {
+			worst = cd
+		}
+		e := p.Power.Total(die).Total()
+		energies = append(energies, e)
+		sum += e
+	}
+	sort.Float64s(energies)
+	return &YieldResult{
+		Samples:     samples,
+		TimingYield: float64(pass) / float64(samples),
+		MeanEnergy:  sum / float64(samples),
+		P95Energy:   energies[(len(energies)-1)*95/100],
+		WorstDelay:  worst,
+	}, nil
+}

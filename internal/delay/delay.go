@@ -1,0 +1,264 @@
+// Package delay implements the paper's Appendix A.2 transregional gate-delay
+// model and static timing analysis on top of it.
+//
+// The worst-case propagation delay of gate i is the sum of four components
+// (Eq. A3):
+//
+//	t_di = [½ − (1 − V_TSi/V_dd)/(1+α)] · max_{j∈fanin} t_dij     input slope
+//	     + V_dd·C_load / (2·[w_i·I_Dw − f_ii·w_i·I_off])          switching
+//	     + max_{j∈fanout} [R_INT·(w_ij·C_t + C_INT) + L_INT/v]    interconnect
+//	     + (f_ii−1)·C_mi·V_dd / (2·w_i·I_Dw)                      series stack
+//
+// where I_Dw is the transregional drain current per unit width at
+// V_GS = V_dd. Because I_Dw is valid below threshold, the model admits
+// subthreshold operating points (V_dd ≤ V_TS), the paper's route to very low
+// supply voltages when timing is loose.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/design"
+	"cmosopt/internal/device"
+	"cmosopt/internal/wiring"
+)
+
+// Evaluator computes gate delays and arrival times for one circuit.
+type Evaluator struct {
+	C    *circuit.Circuit
+	Tech *device.Tech
+	Wire *wiring.Model
+
+	isPO  []bool
+	order []int
+}
+
+// New builds a delay evaluator. The circuit must be combinational.
+func New(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*Evaluator, error) {
+	if c.IsSequential() {
+		return nil, fmt.Errorf("delay: circuit %q is sequential; cut DFFs first", c.Name)
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	isPO := make([]bool, c.N())
+	for _, id := range c.POs {
+		isPO[id] = true
+	}
+	return &Evaluator{C: c, Tech: tech, Wire: wire, isPO: isPO, order: order}, nil
+}
+
+// SlopeCoeff returns the input-rise-time coefficient
+// ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0, 1].
+func (e *Evaluator) SlopeCoeff(vdd, vts float64) float64 {
+	k := 0.5 - (1-vts/vdd)/(1+e.Tech.Alpha)
+	if k < 0 {
+		return 0
+	}
+	if k > 1 {
+		return 1
+	}
+	return k
+}
+
+// GateDelayWith returns t_di for a logic gate given the largest gate delay
+// among its drivers (the t_dij term). It returns +Inf when the operating
+// point cannot switch the gate (leakage of the off stacks exceeds the drive
+// current). Input gates have zero delay.
+func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
+	g := e.C.Gate(id)
+	if !g.IsLogic() {
+		return 0
+	}
+	w := a.W[id]
+	vts := a.Vts[id]
+	// Per-gate supply in multi-Vdd designs. The gate drive uses its own
+	// rail as the input swing; under the no-low-drives-high clustering rule
+	// the true input swing is at least that, so this is (conservatively)
+	// correct.
+	vdd := a.VddAt(id)
+	t := e.Tech
+
+	idw := t.IdUnit(vdd, vts)
+	ioff := t.IoffUnit(vts)
+	fii := float64(g.NumFanin())
+
+	drive := idw - fii*ioff
+	if drive <= 0 || idw <= 0 {
+		return math.Inf(1)
+	}
+
+	// Slope component.
+	td := e.SlopeCoeff(vdd, vts) * maxFaninDelay
+
+	// Switching component: total output load over net drive current. The
+	// wire contribution is this gate's own net (per-net after SampleNets).
+	load := w * t.CPD
+	cb := e.Wire.BranchCapNet(id)
+	for _, f := range g.Fanout {
+		load += a.W[f]*t.Ct + cb
+	}
+	if e.isPO[id] {
+		load += t.COut + cb
+	}
+	td += vdd * load / (2 * w * drive)
+
+	// Interconnect component: worst fanout branch RC plus time of flight.
+	rb := e.Wire.BranchResNet(id)
+	fl := e.Wire.FlightTimeNet(id)
+	worst := 0.0
+	for _, f := range g.Fanout {
+		if b := rb*(a.W[f]*t.Ct+cb) + fl; b > worst {
+			worst = b
+		}
+	}
+	if e.isPO[id] {
+		if b := rb*(t.COut+cb) + fl; b > worst {
+			worst = b
+		}
+	}
+	td += worst
+
+	// Series-stack component: charging f_ii−1 intermediate nodes.
+	if fii > 1 {
+		td += (fii - 1) * t.Cmi * vdd / (2 * w * idw)
+	}
+	return td
+}
+
+// Delays returns the per-gate delay t_di for the whole network, computed in
+// topological order so each gate sees its drivers' final delays.
+func (e *Evaluator) Delays(a *design.Assignment) []float64 {
+	td := make([]float64, e.C.N())
+	for _, id := range e.order {
+		g := e.C.Gate(id)
+		if !g.IsLogic() {
+			continue
+		}
+		maxIn := 0.0
+		for _, f := range g.Fanin {
+			if td[f] > maxIn {
+				maxIn = td[f]
+			}
+		}
+		td[id] = e.GateDelayWith(id, a, maxIn)
+	}
+	return td
+}
+
+// Arrivals returns per-gate worst arrival times and per-gate delays.
+func (e *Evaluator) Arrivals(a *design.Assignment) (arr, td []float64) {
+	td = e.Delays(a)
+	arr = make([]float64, e.C.N())
+	for _, id := range e.order {
+		g := e.C.Gate(id)
+		maxIn := 0.0
+		for _, f := range g.Fanin {
+			if arr[f] > maxIn {
+				maxIn = arr[f]
+			}
+		}
+		arr[id] = maxIn + td[id]
+	}
+	return arr, td
+}
+
+// CriticalDelay returns the worst path delay from any input to any primary
+// output.
+func (e *Evaluator) CriticalDelay(a *design.Assignment) float64 {
+	arr, _ := e.Arrivals(a)
+	worst := 0.0
+	for _, id := range e.C.POs {
+		if arr[id] > worst {
+			worst = arr[id]
+		}
+	}
+	return worst
+}
+
+// CriticalPath returns the gate IDs of a worst path (inputs included, in
+// input-to-output order) and its delay.
+func (e *Evaluator) CriticalPath(a *design.Assignment) ([]int, float64) {
+	arr, _ := e.Arrivals(a)
+	worstID, worst := -1, math.Inf(-1)
+	for _, id := range e.C.POs {
+		if arr[id] > worst {
+			worst, worstID = arr[id], id
+		}
+	}
+	if worstID < 0 {
+		return nil, 0
+	}
+	var rev []int
+	for id := worstID; ; {
+		rev = append(rev, id)
+		g := e.C.Gate(id)
+		if len(g.Fanin) == 0 {
+			break
+		}
+		next, best := g.Fanin[0], math.Inf(-1)
+		for _, f := range g.Fanin {
+			if arr[f] > best {
+				best, next = arr[f], f
+			}
+		}
+		id = next
+	}
+	// Reverse to input-to-output order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, worst
+}
+
+// Slacks runs a full required-time analysis against the cycle budget T:
+// slack[i] = required[i] − arrival[i], where required times propagate
+// backward from T at every primary output. Negative slack marks gates on
+// violating paths; the minimum slack equals T − CriticalDelay.
+func (e *Evaluator) Slacks(a *design.Assignment, T float64) []float64 {
+	arr, td := e.Arrivals(a)
+	req := make([]float64, e.C.N())
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	for _, id := range e.C.POs {
+		if T < req[id] {
+			req[id] = T
+		}
+	}
+	for i := len(e.order) - 1; i >= 0; i-- {
+		id := e.order[i]
+		g := e.C.Gate(id)
+		for _, f := range g.Fanout {
+			if r := req[f] - td[f]; r < req[id] {
+				req[id] = r
+			}
+		}
+	}
+	slack := make([]float64, e.C.N())
+	for i := range slack {
+		slack[i] = req[i] - arr[i]
+	}
+	return slack
+}
+
+// MeetsBudgets reports whether every gate's delay is within its per-gate
+// budget (+Inf budgets always pass; Input gates are skipped).
+func (e *Evaluator) MeetsBudgets(a *design.Assignment, budget []float64) bool {
+	td := e.Delays(a)
+	for i := range e.C.Gates {
+		if !e.C.Gates[i].IsLogic() {
+			continue
+		}
+		if td[i] > budget[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmosopt/internal/design"
+	"cmosopt/internal/device"
+	"cmosopt/internal/netgen"
+)
+
+func mapIn(raw, lo, hi float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		raw = 0.5
+	}
+	frac := math.Mod(math.Abs(raw), 1)
+	return lo + frac*(hi-lo)
+}
+
+func TestDelaysNonNegativeProperty(t *testing.T) {
+	c, err := netgen.Generate(netgen.Config{Name: "p", Gates: 50, Depth: 6, PIs: 5, POs: 4}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	tech := device.Default350()
+	f := func(vddR, vtsR, wR float64) bool {
+		a := design.Uniform(c.N(),
+			mapIn(vddR, tech.VddMin, tech.VddMax),
+			mapIn(vtsR, tech.VtsMin, tech.VtsMax),
+			mapIn(wR, tech.WMin, tech.WMax))
+		td := ev.Delays(a)
+		for i := range c.Gates {
+			if c.Gates[i].IsLogic() {
+				if td[i] < 0 || math.IsNaN(td[i]) {
+					return false
+				}
+			} else if td[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalDelayMonotoneInVddProperty(t *testing.T) {
+	c, err := netgen.Generate(netgen.Config{Name: "p2", Gates: 40, Depth: 5, PIs: 4, POs: 3}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	tech := device.Default350()
+	f := func(v1R, v2R, vtsR, wR float64) bool {
+		v1 := mapIn(v1R, tech.VddMin, tech.VddMax)
+		v2 := mapIn(v2R, tech.VddMin, tech.VddMax)
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		vts := mapIn(vtsR, tech.VtsMin, tech.VtsMax)
+		w := mapIn(wR, tech.WMin, tech.WMax)
+		hi := ev.CriticalDelay(design.Uniform(c.N(), v1, vts, w))
+		lo := ev.CriticalDelay(design.Uniform(c.N(), v2, vts, w))
+		if math.IsInf(hi, 1) {
+			return true // unswitchable at the lower supply: vacuously ok
+		}
+		return lo <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalDelayMonotoneInVtsProperty(t *testing.T) {
+	c, err := netgen.Generate(netgen.Config{Name: "p3", Gates: 40, Depth: 5, PIs: 4, POs: 3}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	tech := device.Default350()
+	f := func(vddR, t1R, t2R, wR float64) bool {
+		vdd := mapIn(vddR, tech.VddMin, tech.VddMax)
+		t1 := mapIn(t1R, tech.VtsMin, tech.VtsMax)
+		t2 := mapIn(t2R, tech.VtsMin, tech.VtsMax)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		w := mapIn(wR, tech.WMin, tech.WMax)
+		fast := ev.CriticalDelay(design.Uniform(c.N(), vdd, t1, w))
+		slow := ev.CriticalDelay(design.Uniform(c.N(), vdd, t2, w))
+		if math.IsInf(slow, 1) {
+			return true
+		}
+		return fast <= slow*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlopeCoeffBoundedProperty(t *testing.T) {
+	_, ev := fixture(t)
+	f := func(vddR, vtsR float64) bool {
+		k := ev.SlopeCoeff(mapIn(vddR, 0.05, 5), mapIn(vtsR, 0.01, 3))
+		return k >= 0 && k <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

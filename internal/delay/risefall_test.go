@@ -1,0 +1,103 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/design"
+	"cmosopt/internal/netgen"
+)
+
+func TestInverterRiseFallSymmetric(t *testing.T) {
+	// With β = µ_n/µ_p = 2, an inverter's rise and fall match, and both
+	// equal the symmetric model's delay.
+	c, ev := fixture(t)
+	h := c.GateByName("h") // NOT
+	a := design.Uniform(c.N(), 1.0, 0.2, 2)
+	r, f := ev.GateDelayRiseFall(h.ID, a, 0)
+	if math.Abs(r-f)/f > 1e-9 {
+		t.Errorf("inverter rise %v != fall %v", r, f)
+	}
+	sym := ev.GateDelayWith(h.ID, a, 0)
+	if math.Abs(r-sym)/sym > 1e-9 {
+		t.Errorf("inverter asymmetric %v != symmetric %v", r, sym)
+	}
+}
+
+func TestNandAsymmetry(t *testing.T) {
+	// A 3-input NAND falls through a 3-deep NMOS stack (slow) and rises
+	// through parallel PMOS (fast).
+	b := circuit.NewBuilder("n3")
+	i1, i2, i3 := b.Input("a"), b.Input("b"), b.Input("c")
+	g := b.Gate(circuit.Nand, "g", i1, i2, i3)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	a := design.Uniform(c.N(), 1.0, 0.2, 2)
+	r, f := ev.GateDelayRiseFall(c.GateByName("g").ID, a, 0)
+	if f <= r {
+		t.Errorf("NAND3 fall %v should be slower than rise %v", f, r)
+	}
+	if f < 2*r {
+		t.Errorf("3-deep stack should cost ~3x: fall %v vs rise %v", f, r)
+	}
+}
+
+func TestNorAsymmetryMirrors(t *testing.T) {
+	b := circuit.NewBuilder("nor3")
+	i1, i2, i3 := b.Input("a"), b.Input("b"), b.Input("c")
+	g := b.Gate(circuit.Nor, "g", i1, i2, i3)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	a := design.Uniform(c.N(), 1.0, 0.2, 2)
+	r, f := ev.GateDelayRiseFall(c.GateByName("g").ID, a, 0)
+	if r <= f {
+		t.Errorf("NOR3 rise %v should be slower than fall %v (series PMOS)", r, f)
+	}
+}
+
+func TestRiseFallSTAAtLeastSymmetric(t *testing.T) {
+	// The dual-rail analysis resolves stack asymmetry the symmetric model
+	// averages; its critical delay must be at least comparable and is
+	// usually larger on stack-heavy circuits.
+	c, err := netgen.Profile("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	a := design.Uniform(c.N(), 1.0, 0.2, 2)
+	sym := ev.CriticalDelay(a)
+	asym := ev.CriticalDelayRiseFall(a)
+	if asym < sym*0.9 {
+		t.Errorf("rise/fall critical delay %v implausibly below symmetric %v", asym, sym)
+	}
+	t.Logf("symmetric %.3e s vs rise/fall-resolved %.3e s (ratio %.2f)", sym, asym, asym/sym)
+}
+
+func TestRiseFallInfeasibleGuard(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	ins := make([]int, 4)
+	for i := range ins {
+		ins[i] = b.Input("i" + string(rune('a'+i)))
+	}
+	g := b.Gate(circuit.Nand, "g", ins...)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := evalFor(t, c)
+	a := design.Uniform(c.N(), 0.02, 0.4, 2)
+	r, f := ev.GateDelayRiseFall(c.GateByName("g").ID, a, 0)
+	if !math.IsInf(f, 1) {
+		t.Errorf("unswitchable stack should give +Inf fall, got %v (rise %v)", f, r)
+	}
+}

@@ -1,0 +1,109 @@
+package design
+
+import (
+	"testing"
+
+	"cmosopt/internal/device"
+)
+
+func TestUniform(t *testing.T) {
+	a := Uniform(4, 1.2, 0.2, 3)
+	if a.Vdd != 1.2 || len(a.Vts) != 4 || len(a.W) != 4 {
+		t.Fatalf("bad assignment %+v", a)
+	}
+	for i := 0; i < 4; i++ {
+		if a.Vts[i] != 0.2 || a.W[i] != 3 {
+			t.Errorf("entry %d = (%v,%v)", i, a.Vts[i], a.W[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Uniform(3, 1.0, 0.3, 2)
+	b := a.Clone()
+	b.Vdd = 2
+	b.Vts[0] = 0.5
+	b.W[1] = 9
+	if a.Vdd != 1.0 || a.Vts[0] != 0.3 || a.W[1] != 2 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestSetVts(t *testing.T) {
+	a := Uniform(3, 1.0, 0.3, 2)
+	a.SetVts(0.15)
+	for i := range a.Vts {
+		if a.Vts[i] != 0.15 {
+			t.Fatalf("Vts[%d] = %v", i, a.Vts[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tech := device.Default350()
+	good := Uniform(2, 1.0, 0.3, 2)
+	if err := good.Validate(&tech, 2); err != nil {
+		t.Fatalf("good assignment rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Assignment)
+		n    int
+	}{
+		{"size mismatch", func(a *Assignment) {}, 3},
+		{"vdd low", func(a *Assignment) { a.Vdd = 0.01 }, 2},
+		{"vdd high", func(a *Assignment) { a.Vdd = 9 }, 2},
+		{"vts low", func(a *Assignment) { a.Vts[1] = 0.001 }, 2},
+		{"vts high", func(a *Assignment) { a.Vts[0] = 2 }, 2},
+		{"w low", func(a *Assignment) { a.W[0] = 0.2 }, 2},
+		{"w high", func(a *Assignment) { a.W[1] = 1e4 }, 2},
+	}
+	for _, tc := range cases {
+		a := Uniform(2, 1.0, 0.3, 2)
+		tc.mod(a)
+		if err := a.Validate(&tech, tc.n); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDistinctVts(t *testing.T) {
+	a := Uniform(4, 1.0, 0.3, 2)
+	if got := a.DistinctVts(); len(got) != 1 {
+		t.Errorf("uniform DistinctVts = %v", got)
+	}
+	a.Vts[2] = 0.5
+	a.Vts[3] = 0.5
+	if got := a.DistinctVts(); len(got) != 2 {
+		t.Errorf("two-level DistinctVts = %v", got)
+	}
+	a.Vts[3] = 0.5 + 1e-12 // within tolerance of 0.5
+	if got := a.DistinctVts(); len(got) != 2 {
+		t.Errorf("tolerance DistinctVts = %v", got)
+	}
+}
+
+func TestPerGateVddAccessors(t *testing.T) {
+	a := Uniform(3, 1.2, 0.2, 2)
+	if a.VddAt(0) != 1.2 || a.MaxVdd() != 1.2 {
+		t.Error("uniform accessors broken")
+	}
+	if got := a.DistinctVdds(); len(got) != 1 || got[0] != 1.2 {
+		t.Errorf("DistinctVdds = %v", got)
+	}
+	a.VddPer = []float64{1.2, 0.6, 0.6}
+	if a.VddAt(1) != 0.6 || a.VddAt(0) != 1.2 {
+		t.Error("per-gate VddAt broken")
+	}
+	if a.MaxVdd() != 1.2 {
+		t.Errorf("MaxVdd = %v", a.MaxVdd())
+	}
+	if got := a.DistinctVdds(); len(got) != 2 {
+		t.Errorf("DistinctVdds = %v", got)
+	}
+	b := a.Clone()
+	b.VddPer[2] = 0.9
+	if a.VddPer[2] != 0.6 {
+		t.Error("Clone shares VddPer")
+	}
+}

@@ -1,0 +1,100 @@
+package design
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cmosopt/internal/circuit"
+)
+
+// fileFormat is the on-disk JSON representation of an optimized design.
+// Per-gate values are keyed by gate *name*, not ID, so a saved design stays
+// valid across netlist re-parses that renumber gates.
+type fileFormat struct {
+	Circuit string             `json:"circuit"`
+	Vdd     float64            `json:"vdd"`
+	VddPer  map[string]float64 `json:"vddPer,omitempty"`
+	Vts     map[string]float64 `json:"vts"`
+	W       map[string]float64 `json:"w"`
+}
+
+// Save writes the assignment for the given circuit as JSON. Only logic gates
+// are recorded.
+func Save(w io.Writer, c *circuit.Circuit, a *Assignment) error {
+	if len(a.Vts) != c.N() || len(a.W) != c.N() {
+		return fmt.Errorf("design: assignment sized %d, circuit has %d gates", len(a.Vts), c.N())
+	}
+	f := fileFormat{
+		Circuit: c.Name,
+		Vdd:     a.Vdd,
+		Vts:     make(map[string]float64),
+		W:       make(map[string]float64),
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if !g.IsLogic() {
+			continue
+		}
+		f.Vts[g.Name] = a.Vts[i]
+		f.W[g.Name] = a.W[i]
+		if a.VddPer != nil {
+			if f.VddPer == nil {
+				f.VddPer = make(map[string]float64)
+			}
+			f.VddPer[g.Name] = a.VddPer[i]
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f)
+}
+
+// Load reads a saved design and binds it to the circuit by gate name. Every
+// logic gate must be covered; extra names are rejected (they indicate a
+// mismatched netlist).
+func Load(r io.Reader, c *circuit.Circuit) (*Assignment, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("design: %w", err)
+	}
+	if f.Circuit != "" && f.Circuit != c.Name {
+		return nil, fmt.Errorf("design: file is for circuit %q, not %q", f.Circuit, c.Name)
+	}
+	a := Uniform(c.N(), f.Vdd, 0, 0)
+	if f.VddPer != nil {
+		a.VddPer = make([]float64, c.N())
+		for i := range a.VddPer {
+			a.VddPer[i] = f.Vdd
+		}
+	}
+	covered := 0
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if !g.IsLogic() {
+			a.Vts[i] = f.Vdd // placeholder, ignored by the models
+			a.W[i] = 1
+			continue
+		}
+		vt, ok := f.Vts[g.Name]
+		if !ok {
+			return nil, fmt.Errorf("design: no threshold for gate %q", g.Name)
+		}
+		w, ok := f.W[g.Name]
+		if !ok {
+			return nil, fmt.Errorf("design: no width for gate %q", g.Name)
+		}
+		a.Vts[i] = vt
+		a.W[i] = w
+		if a.VddPer != nil {
+			if v, ok := f.VddPer[g.Name]; ok {
+				a.VddPer[i] = v
+			}
+		}
+		covered++
+	}
+	if extra := len(f.Vts) - covered; extra > 0 {
+		return nil, fmt.Errorf("design: file names %d gates the circuit does not have", extra)
+	}
+	return a, nil
+}

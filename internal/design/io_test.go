@@ -1,0 +1,118 @@
+package design
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmosopt/internal/circuit"
+)
+
+func testCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.ParseBenchString("t", `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = NAND(a, b)
+y = NOT(g1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := testCircuit(t)
+	a := Uniform(c.N(), 0.74, 0.12, 1)
+	g1 := c.GateByName("g1").ID
+	y := c.GateByName("y").ID
+	a.W[g1] = 3.5
+	a.W[y] = 1.25
+	a.Vts[y] = 0.2
+
+	var buf bytes.Buffer
+	if err := Save(&buf, c, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Vdd != 0.74 {
+		t.Errorf("Vdd = %v", back.Vdd)
+	}
+	if back.W[g1] != 3.5 || back.W[y] != 1.25 {
+		t.Errorf("widths = %v %v", back.W[g1], back.W[y])
+	}
+	if back.Vts[g1] != 0.12 || back.Vts[y] != 0.2 {
+		t.Errorf("thresholds = %v %v", back.Vts[g1], back.Vts[y])
+	}
+	if back.VddPer != nil {
+		t.Error("single-rail design grew VddPer")
+	}
+}
+
+func TestSaveLoadDualRail(t *testing.T) {
+	c := testCircuit(t)
+	a := Uniform(c.N(), 1.0, 0.15, 2)
+	a.VddPer = make([]float64, c.N())
+	for i := range a.VddPer {
+		a.VddPer[i] = 1.0
+	}
+	y := c.GateByName("y").ID
+	a.VddPer[y] = 0.6
+
+	var buf bytes.Buffer
+	if err := Save(&buf, c, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VddPer == nil || back.VddPer[y] != 0.6 {
+		t.Errorf("dual rail lost: %v", back.VddPer)
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	c := testCircuit(t)
+	a := Uniform(c.N(), 1.0, 0.2, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, a); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	other, err := circuit.ParseBenchString("other", "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(strings.NewReader(saved), other); err == nil {
+		t.Error("design for a different circuit accepted")
+	}
+	// Same name, different gates.
+	renamed := strings.Replace(saved, `"circuit": "t"`, `"circuit": "other"`, 1)
+	if _, err := Load(strings.NewReader(renamed), other); err == nil {
+		t.Error("design with unknown gate names accepted")
+	}
+	if _, err := Load(strings.NewReader("{not json"), c); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Missing a gate entry.
+	gutted := strings.Replace(saved, `"g1"`, `"gX"`, 2)
+	if _, err := Load(strings.NewReader(gutted), c); err == nil {
+		t.Error("design missing a gate accepted")
+	}
+}
+
+func TestSaveRejectsSizeMismatch(t *testing.T) {
+	c := testCircuit(t)
+	a := Uniform(2, 1.0, 0.2, 2) // wrong size
+	var buf bytes.Buffer
+	if err := Save(&buf, c, a); err == nil {
+		t.Error("mismatched assignment accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBodyBiasValidate(t *testing.T) {
+	if err := DefaultBodyBias().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BodyBias{
+		{Vt0: 0.1, Gamma: 0, Phi2F: 0.65},
+		{Vt0: 0.1, Gamma: 0.45, Phi2F: 0},
+		{Vt0: math.NaN(), Gamma: 0.45, Phi2F: 0.65},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVtZeroBiasIsNatural(t *testing.T) {
+	b := DefaultBodyBias()
+	if got := b.Vt(0); math.Abs(got-b.Vt0) > 1e-12 {
+		t.Errorf("Vt(0) = %v, want %v", got, b.Vt0)
+	}
+	// Negative (forward) bias clamps to the natural threshold.
+	if got := b.Vt(-0.5); math.Abs(got-b.Vt0) > 1e-12 {
+		t.Errorf("Vt(-0.5) = %v, want %v", got, b.Vt0)
+	}
+}
+
+func TestVtMonotoneInBias(t *testing.T) {
+	b := DefaultBodyBias()
+	prev := b.Vt(0)
+	for vsb := 0.1; vsb <= 3.0; vsb += 0.1 {
+		cur := b.Vt(vsb)
+		if cur <= prev {
+			t.Fatalf("Vt not increasing at vsb=%v", vsb)
+		}
+		prev = cur
+	}
+}
+
+func TestBiasForRoundTrip(t *testing.T) {
+	b := DefaultBodyBias()
+	f := func(raw float64) bool {
+		target := b.Vt0 + math.Mod(math.Abs(raw), 0.35)
+		vsb, err := b.BiasFor(target, 10)
+		if err != nil {
+			return false
+		}
+		return math.Abs(b.Vt(vsb)-target) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiasForRejects(t *testing.T) {
+	b := DefaultBodyBias()
+	if _, err := b.BiasFor(0.05, 10); err == nil {
+		t.Error("target below natural threshold accepted")
+	}
+	// A 0.7 V threshold from a 0.1 V natural device needs a huge bias.
+	if _, err := b.BiasFor(0.7, 1.0); err == nil {
+		t.Error("bias beyond limit accepted")
+	}
+}
+
+func TestBiasMagnitudesRealistic(t *testing.T) {
+	// Raising a 100 mV natural device to the paper's 130–190 mV range should
+	// take modest (sub-volt) reverse bias.
+	b := DefaultBodyBias()
+	for _, vt := range []float64{0.13, 0.15, 0.19} {
+		vsb, err := b.BiasFor(vt, 5)
+		if err != nil {
+			t.Fatalf("Vt=%v: %v", vt, err)
+		}
+		if vsb <= 0 || vsb > 1.0 {
+			t.Errorf("Vt=%v needs %v V bias, expected sub-volt", vt, vsb)
+		}
+	}
+}
+
+func TestPlanTubBiases(t *testing.T) {
+	n, p := DefaultBodyBias(), DefaultBodyBias()
+	plan, err := PlanTubBiases(n, p, []float64{0.14, 0.25}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.VSubstrate) != 2 || len(plan.VNWell) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.VSubstrate[1] <= plan.VSubstrate[0] {
+		t.Error("higher threshold group should need more substrate bias")
+	}
+	if _, err := PlanTubBiases(n, p, nil, 5); err == nil {
+		t.Error("empty threshold list accepted")
+	}
+	if _, err := PlanTubBiases(n, p, []float64{0.01}, 5); err == nil {
+		t.Error("unreachable threshold accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package device_test
+
+import (
+	"fmt"
+
+	"cmosopt/internal/device"
+)
+
+func ExampleTech_IoffUnit() {
+	tech := device.Default350()
+	// Leakage grows by ~10x per subthreshold swing of threshold reduction.
+	hi := tech.IoffUnit(0.7)
+	lo := tech.IoffUnit(0.15)
+	fmt.Printf("Ioff grows %.0fx going from Vt=0.7 to Vt=0.15\n", lo/hi)
+	// Output: Ioff grows 27401x going from Vt=0.7 to Vt=0.15
+}
+
+func ExampleBodyBias_BiasFor() {
+	// Figure 1's flow: realize a 150 mV threshold from a 100 mV natural
+	// device with a static reverse substrate bias.
+	bb := device.DefaultBodyBias()
+	vsb, err := bb.BiasFor(0.15, 5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reverse bias %.0f mV\n", vsb*1e3)
+	// Output: reverse bias 192 mV
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+	"cmosopt/internal/report"
+)
+
+// Cross-node study: the paper's process-design application viewed across a
+// technology generation — run the joint optimizer on the same benchmarks in
+// two parameter sets (0.35 µm and its constant-field-scaled 0.25 µm
+// successor) and compare the optima the algorithm steers each process to.
+
+// NodeEntry is one (circuit, node) outcome.
+type NodeEntry struct {
+	Circuit string
+	Node    string
+	Result  *core.Result
+}
+
+// CrossNodeStudy runs the joint optimizer per circuit per technology.
+func CrossNodeStudy(cfg Config, act float64, nodes []device.Tech) ([]NodeEntry, error) {
+	var out []NodeEntry
+	for _, name := range cfg.Circuits {
+		for _, tech := range nodes {
+			ct, err := loadCircuit(name)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Tech = tech
+			p, err := core.NewProblem(c.spec(ct, act))
+			if err != nil {
+				return nil, fmt.Errorf("%s@%s: %w", name, tech.Name, err)
+			}
+			res, err := p.OptimizeJoint(c.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s@%s: %w", name, tech.Name, err)
+			}
+			out = append(out, NodeEntry{Circuit: name, Node: tech.Name, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// CrossNodeTable renders the study.
+func CrossNodeTable(entries []NodeEntry) *report.Table {
+	t := &report.Table{
+		Title:   "Cross-node study: joint optima per technology generation",
+		Headers: []string{"Circuit", "Node", "Total E (J)", "Vdd (V)", "Vt (V)", "static/dynamic"},
+	}
+	for _, e := range entries {
+		r := e.Result
+		t.AddRow(e.Circuit, e.Node, report.Sci(r.Energy.Total()),
+			fmt.Sprintf("%.2f", r.Vdd), fmt.Sprintf("%.3f", r.VtsValues[0]),
+			fmt.Sprintf("%.2f", r.Energy.Static/r.Energy.Dynamic))
+	}
+	return t
+}

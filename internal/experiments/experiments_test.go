@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/device"
+)
+
+// fastConfig shrinks the experiment to two small circuits for test speed.
+func fastConfig() Config {
+	cfg := Default()
+	cfg.Circuits = []string{"s27", "s298"}
+	cfg.Activities = []float64{0.5}
+	cfg.Opts.M = 10
+	return cfg
+}
+
+func TestRunSuitePaperClaims(t *testing.T) {
+	cfg := fastConfig()
+	entries, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Baseline.Feasible || !e.Joint.Feasible {
+			t.Errorf("%s: infeasible results", e.Circuit)
+		}
+		if e.Savings < 2 {
+			t.Errorf("%s: savings %v implausibly low", e.Circuit, e.Savings)
+		}
+		if e.Joint.Energy.Total() > e.Baseline.Energy.Total() {
+			t.Errorf("%s: joint worse than baseline", e.Circuit)
+		}
+	}
+	// The larger benchmark shows the headline order-of-magnitude savings,
+	// and the paper-comparable factor vs the 3.3 V reference hits the
+	// "typically a factor of 25" regime.
+	for _, e := range entries {
+		if e.Circuit != "s298" {
+			continue
+		}
+		if e.Savings < 8 {
+			t.Errorf("s298 savings %v, want > 8", e.Savings)
+		}
+		if e.Savings33 < 15 {
+			t.Errorf("s298 savings vs 3.3V reference = %v, want > 15 (paper: ~25)", e.Savings33)
+		}
+		if e.Ref33.Vdd != e.Baseline.Vdd && e.Savings33 < e.Savings {
+			t.Error("3.3V reference should never show smaller savings than the free baseline")
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Circuits = []string{"s27"}
+	entries, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := Table1(entries).String()
+	if !strings.Contains(t1, "s27") || !strings.Contains(t1, "Vdd") {
+		t.Errorf("table 1 malformed:\n%s", t1)
+	}
+	t2 := Table2(entries).String()
+	if !strings.Contains(t2, "Savings") || !strings.Contains(t2, "x") {
+		t.Errorf("table 2 malformed:\n%s", t2)
+	}
+}
+
+func TestFigure2aDriver(t *testing.T) {
+	cfg := fastConfig()
+	pts, err := Figure2a(cfg, "s27", 0.5, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[1].Savings > pts[0].Savings {
+		t.Errorf("savings should not grow with variation: %v → %v", pts[0].Savings, pts[1].Savings)
+	}
+	tbl := Figure2aTable(pts).String()
+	if !strings.Contains(tbl, "20%") {
+		t.Errorf("figure 2a table malformed:\n%s", tbl)
+	}
+}
+
+func TestFigure2bDriver(t *testing.T) {
+	cfg := fastConfig()
+	pts, err := Figure2b(cfg, "s27", 0.5, []float64{0.7, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	tbl := Figure2bTable(pts).String()
+	if !strings.Contains(tbl, "0.70") {
+		t.Errorf("figure 2b table malformed:\n%s", tbl)
+	}
+}
+
+func TestSACompareDriver(t *testing.T) {
+	cfg := fastConfig()
+	ao := core.DefaultAnnealOptions()
+	ao.StepsPerPass = 400
+	entries, err := SACompare(cfg, []string{"s27"}, 0.5, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[0].Ratio < 0.9 {
+		t.Errorf("annealer beat the heuristic by >10%% (ratio %v); schedule sizing should prevent that", entries[0].Ratio)
+	}
+	tbl := SATable(entries).String()
+	if !strings.Contains(tbl, "Anneal/Heuristic") {
+		t.Errorf("SA table malformed:\n%s", tbl)
+	}
+}
+
+func TestMultiVtStudyDriver(t *testing.T) {
+	cfg := fastConfig()
+	entries, err := MultiVtStudy(cfg, "s27", 0.5, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[1].Gain < 1-1e-9 {
+		t.Errorf("nv=2 should not lose energy vs nv=1: gain %v", entries[1].Gain)
+	}
+	tbl := MultiVtTable(entries).String()
+	if !strings.Contains(tbl, "nv") {
+		t.Errorf("multi-vt table malformed:\n%s", tbl)
+	}
+}
+
+func TestUnknownCircuit(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Circuits = []string{"bogus"}
+	if _, err := RunSuite(cfg); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestProcessVtStudy(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Circuits = []string{"s27", "s298"}
+	rec, entries, err := ProcessVtStudy(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec < 0.1 || rec > 0.4 {
+		t.Errorf("recommended process Vt %v outside plausible range", rec)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if e.Penalty < 0.5 || e.Penalty > 3 {
+			t.Errorf("%s: penalty %v implausible", e.Circuit, e.Penalty)
+		}
+		if e.OwnEnergy <= 0 || e.AtRecVt <= 0 {
+			t.Errorf("%s: degenerate energies", e.Circuit)
+		}
+	}
+	tbl := ProcessVtTable(rec, entries).String()
+	if !strings.Contains(tbl, "recommended process Vt") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestCrossNodeStudy(t *testing.T) {
+	cfg := fastConfig()
+	entries, err := CrossNodeStudy(cfg, 0.5, []device.Tech{device.Default350(), device.Default250()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 2 circuits x 2 nodes
+		t.Fatalf("got %d entries", len(entries))
+	}
+	// The scaled node must win on every circuit.
+	byCircuit := map[string]map[string]float64{}
+	for _, e := range entries {
+		if byCircuit[e.Circuit] == nil {
+			byCircuit[e.Circuit] = map[string]float64{}
+		}
+		byCircuit[e.Circuit][e.Node] = e.Result.Energy.Total()
+		if !e.Result.Feasible {
+			t.Errorf("%s@%s infeasible", e.Circuit, e.Node)
+		}
+	}
+	for name, nodes := range byCircuit {
+		if nodes["generic-0.25um"] >= nodes["generic-0.35um"] {
+			t.Errorf("%s: 0.25um %v not below 0.35um %v", name, nodes["generic-0.25um"], nodes["generic-0.35um"])
+		}
+	}
+	tbl := CrossNodeTable(entries).String()
+	if !strings.Contains(tbl, "generic-0.25um") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}

@@ -1,0 +1,227 @@
+// Package netgen supplies the benchmark circuits for the reproduction: two
+// genuine embedded ISCAS netlists (s27, c17) and a deterministic synthetic
+// random-logic generator that produces circuits structurally matched to the
+// ISCAS'89 benchmarks used in the paper's Tables 1 and 2 (same logic-gate
+// count, logic depth, and PI/PO/DFF counts, with an ISCAS-like gate-type and
+// fanin/fanout mix).
+//
+// The paper's algorithm consumes only network structure and activities, so a
+// structure-matched synthetic circuit exercises exactly the same code paths
+// as the real netlist; see DESIGN.md §2 for the substitution rationale.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cmosopt/internal/circuit"
+)
+
+// Config describes the synthetic random-logic network to generate. The
+// generator emits the *combinational expansion* directly: the DFFs counted in
+// the profile appear as extra pseudo primary inputs and pseudo primary
+// outputs, which is the form the optimizer consumes (see
+// circuit.Combinational).
+type Config struct {
+	Name   string
+	Gates  int // logic gates to generate
+	Depth  int // target logic depth (longest gate chain)
+	PIs    int // true primary inputs
+	POs    int // true primary outputs
+	DFFs   int // flops of the original sequential circuit (become pseudo PI/PO pairs)
+	MaxFan int // maximum fanin per gate; 0 means default (4)
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("netgen: empty name")
+	case c.Gates < 1:
+		return fmt.Errorf("netgen %s: need at least 1 gate", c.Name)
+	case c.Depth < 1 || c.Depth > c.Gates:
+		return fmt.Errorf("netgen %s: depth %d out of range [1,%d]", c.Name, c.Depth, c.Gates)
+	case c.PIs+c.DFFs < 1:
+		return fmt.Errorf("netgen %s: need at least one input", c.Name)
+	case c.POs+c.DFFs < 1:
+		return fmt.Errorf("netgen %s: need at least one output", c.Name)
+	}
+	return nil
+}
+
+// Generate builds a random combinational network per cfg, deterministically
+// for a given seed. The result is validated and acyclic by construction.
+func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	maxFan := cfg.MaxFan
+	if maxFan <= 0 {
+		maxFan = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(cfg.Name)
+
+	nIn := cfg.PIs + cfg.DFFs
+	inputs := make([]int, nIn)
+	for i := 0; i < cfg.PIs; i++ {
+		inputs[i] = b.Input(fmt.Sprintf("pi%d", i))
+	}
+	for i := 0; i < cfg.DFFs; i++ {
+		inputs[cfg.PIs+i] = b.Input(fmt.Sprintf("ff%d", i))
+	}
+
+	// Distribute gates over levels 1..Depth, at least one per level, the
+	// remainder spread with a mild bias toward early levels (cone shape).
+	perLevel := make([]int, cfg.Depth)
+	for i := range perLevel {
+		perLevel[i] = 1
+	}
+	for extra := cfg.Gates - cfg.Depth; extra > 0; extra-- {
+		// Triangular bias: earlier levels more likely.
+		l := min2(rng.Intn(cfg.Depth), rng.Intn(cfg.Depth))
+		perLevel[l]++
+	}
+
+	levelGates := make([][]int, cfg.Depth+1)
+	levelGates[0] = inputs
+	all := append([]int(nil), inputs...) // fanin sources from completed levels only
+	isSink := make(map[int]bool, cfg.Gates+nIn)
+	gateNum := 0
+	for l := 1; l <= cfg.Depth; l++ {
+		for k := 0; k < perLevel[l-1]; k++ {
+			nf := pickFanin(rng, maxFan)
+			prev := levelGates[l-1]
+			first := prev[rng.Intn(len(prev))]
+			fanin := []int{first}
+			for len(fanin) < nf {
+				src := pickSource(rng, all, isSink)
+				if containsInt(fanin, src) {
+					// Avoid duplicate connections to the same driver; retry,
+					// giving up gracefully when few sources exist.
+					if len(all) <= len(fanin) {
+						break
+					}
+					continue
+				}
+				fanin = append(fanin, src)
+			}
+			typ := pickType(rng, len(fanin))
+			id := b.Gate(typ, fmt.Sprintf("n%d", gateNum), fanin...)
+			gateNum++
+			for _, f := range fanin {
+				delete(isSink, f)
+			}
+			levelGates[l] = append(levelGates[l], id)
+		}
+		// Gates become visible as fanin sources (and sink candidates) only
+		// after their level is complete, so the longest chain equals Depth.
+		for _, id := range levelGates[l] {
+			isSink[id] = true
+			all = append(all, id)
+		}
+	}
+
+	// Primary outputs: every sink logic gate must be observable, plus random
+	// extra gates up to the requested count. DFF-driver pseudo-POs come first.
+	sinks := make([]int, 0, len(isSink))
+	for id := range isSink {
+		sinks = append(sinks, id)
+	}
+	sort.Ints(sinks)
+	wantPOs := cfg.POs + cfg.DFFs
+	isPO := make(map[int]bool, wantPOs)
+	for _, id := range sinks {
+		b.Output(id)
+		isPO[id] = true
+	}
+	for attempts := 0; len(isPO) < wantPOs && attempts < 100*cfg.Gates; attempts++ {
+		// Mark a random not-yet-chosen logic gate as an additional PO.
+		id := all[nIn+rng.Intn(cfg.Gates)]
+		if !isPO[id] {
+			b.Output(id)
+			isPO[id] = true
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("netgen %s: %w", cfg.Name, err)
+	}
+	return c, nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pickFanin draws a fanin count with an ISCAS-like distribution:
+// 1 input 15%, 2 inputs 55%, 3 inputs 20%, 4+ inputs 10%.
+func pickFanin(rng *rand.Rand, maxFan int) int {
+	var n int
+	switch r := rng.Float64(); {
+	case r < 0.15:
+		n = 1
+	case r < 0.70:
+		n = 2
+	case r < 0.90:
+		n = 3
+	default:
+		n = 4
+	}
+	if n > maxFan {
+		n = maxFan
+	}
+	return n
+}
+
+// pickSource chooses a fanin source, preferring gates that currently have no
+// fanout (70%), which keeps the natural sink count near the target PO count.
+func pickSource(rng *rand.Rand, all []int, isSink map[int]bool) int {
+	if len(isSink) > 0 && rng.Float64() < 0.70 {
+		// Deterministic selection among sinks: k-th smallest.
+		k := rng.Intn(len(isSink))
+		keys := make([]int, 0, len(isSink))
+		for id := range isSink {
+			keys = append(keys, id)
+		}
+		sort.Ints(keys)
+		return keys[k]
+	}
+	return all[rng.Intn(len(all))]
+}
+
+// pickType draws a gate type with an ISCAS-like mix.
+func pickType(rng *rand.Rand, fanin int) circuit.GateType {
+	if fanin == 1 {
+		if rng.Float64() < 0.8 {
+			return circuit.Not
+		}
+		return circuit.Buf
+	}
+	switch r := rng.Float64(); {
+	case r < 0.35:
+		return circuit.Nand
+	case r < 0.55:
+		return circuit.Nor
+	case r < 0.75:
+		return circuit.And
+	case r < 0.90:
+		return circuit.Or
+	case r < 0.97:
+		return circuit.Xor
+	default:
+		return circuit.Xnor
+	}
+}

@@ -1,0 +1,58 @@
+package netgen
+
+import (
+	"fmt"
+	"sort"
+
+	"cmosopt/internal/circuit"
+)
+
+// profiles85 holds structural parameters matched to the ISCAS'85
+// combinational benchmarks (no flip-flops), from the published benchmark
+// descriptions. They extend the paper's ISCAS'89 suite with circuits up to
+// ~3500 gates for scalability studies; the paper's own tables use only the
+// ISCAS'89 set.
+var profiles85 = map[string]Config{
+	"c432":  {Name: "c432", Gates: 160, Depth: 17, PIs: 36, POs: 7},
+	"c499":  {Name: "c499", Gates: 202, Depth: 11, PIs: 41, POs: 32},
+	"c880":  {Name: "c880", Gates: 383, Depth: 24, PIs: 60, POs: 26},
+	"c1355": {Name: "c1355", Gates: 546, Depth: 24, PIs: 41, POs: 32},
+	"c1908": {Name: "c1908", Gates: 880, Depth: 40, PIs: 33, POs: 25},
+	"c2670": {Name: "c2670", Gates: 1193, Depth: 32, PIs: 233, POs: 140},
+	"c3540": {Name: "c3540", Gates: 1669, Depth: 47, PIs: 50, POs: 22},
+	"c5315": {Name: "c5315", Gates: 2307, Depth: 49, PIs: 178, POs: 123},
+	"c6288": {Name: "c6288", Gates: 2406, Depth: 124, PIs: 32, POs: 32},
+	"c7552": {Name: "c7552", Gates: 3512, Depth: 43, PIs: 207, POs: 108},
+}
+
+// Suite85Names returns the ISCAS'85-profile benchmark names in ascending
+// size order.
+func Suite85Names() []string {
+	names := make([]string, 0, len(profiles85))
+	for n := range profiles85 {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return profiles85[names[i]].Gates < profiles85[names[j]].Gates
+	})
+	return names
+}
+
+// Profile85 generates the synthetic circuit matched to the named ISCAS'85
+// benchmark, deterministically.
+func Profile85(name string) (*circuit.Circuit, error) {
+	cfg, ok := profiles85[name]
+	if !ok {
+		return nil, fmt.Errorf("netgen: unknown ISCAS'85 profile %q (have %v)", name, Suite85Names())
+	}
+	return Generate(cfg, profileSeed(name))
+}
+
+// Profile85Config returns the structural parameters of a named profile.
+func Profile85Config(name string) (Config, error) {
+	cfg, ok := profiles85[name]
+	if !ok {
+		return Config{}, fmt.Errorf("netgen: unknown ISCAS'85 profile %q", name)
+	}
+	return cfg, nil
+}

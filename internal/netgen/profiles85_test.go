@@ -1,0 +1,77 @@
+package netgen
+
+import "testing"
+
+func TestSuite85NamesOrdered(t *testing.T) {
+	names := Suite85Names()
+	if len(names) != 10 {
+		t.Fatalf("got %d names", len(names))
+	}
+	prev := 0
+	for _, n := range names {
+		cfg, err := Profile85Config(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Gates < prev {
+			t.Fatalf("names not size-ordered at %s", n)
+		}
+		prev = cfg.Gates
+	}
+}
+
+func TestProfile85Structure(t *testing.T) {
+	// Spot-check small, medium and the deep multiplier profile.
+	for _, name := range []string{"c432", "c1908", "c6288"} {
+		cfg, err := Profile85Config(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Profile85(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := c.NumLogic(); got != cfg.Gates {
+			t.Errorf("%s: gates %d, want %d", name, got, cfg.Gates)
+		}
+		d, err := c.Depth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != cfg.Depth {
+			t.Errorf("%s: depth %d, want %d", name, d, cfg.Depth)
+		}
+		if len(c.PIs) != cfg.PIs {
+			t.Errorf("%s: PIs %d, want %d", name, len(c.PIs), cfg.PIs)
+		}
+		if c.IsSequential() {
+			t.Errorf("%s: ISCAS'85 profiles are combinational", name)
+		}
+	}
+}
+
+func TestProfile85Deterministic(t *testing.T) {
+	a, err := Profile85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile85("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Error("not deterministic")
+	}
+}
+
+func TestProfile85Unknown(t *testing.T) {
+	if _, err := Profile85("c9999"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Profile85Config("c9999"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package optimize
+
+// CoordinateDescent minimizes f over a box by cyclically minimizing each
+// coordinate with golden-section search. It runs the given number of full
+// sweeps (or stops early when a sweep improves by less than tol) and returns
+// the best point and value. x0 is not mutated.
+func CoordinateDescent(f func([]float64) float64, x0 []float64, bounds []Range, sweeps int, tol float64) ([]float64, float64) {
+	x := append([]float64(nil), x0...)
+	for i := range x {
+		x[i] = bounds[i].Clamp(x[i])
+	}
+	fx := f(x)
+	for s := 0; s < sweeps; s++ {
+		prev := fx
+		for i := range x {
+			xi := x[i]
+			g := func(v float64) float64 {
+				x[i] = v
+				return f(x)
+			}
+			bestV, bestF := GoldenSection(g, bounds[i], bounds[i].Width()*1e-4, 60)
+			if bestF < fx {
+				x[i], fx = bestV, bestF
+			} else {
+				x[i] = xi
+			}
+		}
+		if prev-fx < tol {
+			break
+		}
+	}
+	return x, fx
+}

@@ -1,0 +1,32 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"cmosopt/internal/optimize"
+)
+
+func ExampleMinSatisfying() {
+	// Smallest width meeting a delay target, the inner move of Procedure 2:
+	// delay(w) = 10/w + 1 must be ≤ 3, so w ≥ 5.
+	w, ok := optimize.MinSatisfying(optimize.Range{Lo: 1, Hi: 100}, 40, func(w float64) bool {
+		return 10/w+1 <= 3
+	})
+	fmt.Printf("ok=%v w=%.3f\n", ok, w)
+	// Output: ok=true w=5.000
+}
+
+func ExampleGoldenSection() {
+	x, fx := optimize.GoldenSection(func(x float64) float64 {
+		return (x - 2) * (x - 2)
+	}, optimize.Range{Lo: 0, Hi: 10}, 1e-9, 200)
+	fmt.Printf("x=%.3f f<1e-15: %v\n", x, fx < 1e-15)
+	// Output: x=2.000 f<1e-15: true
+}
+
+func ExampleRange() {
+	r := optimize.Range{Lo: 0.1, Hi: 3.3}
+	fmt.Printf("mid=%.2f lower=[%.2f,%.2f] higher=[%.2f,%.2f]\n",
+		r.Mid(), r.Lower().Lo, r.Lower().Hi, r.Higher().Lo, r.Higher().Hi)
+	// Output: mid=1.70 lower=[0.10,1.70] higher=[1.70,3.30]
+}

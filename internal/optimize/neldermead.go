@@ -1,0 +1,131 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes f over a box with the downhill-simplex method
+// (reflection/expansion/contraction/shrink), projecting every trial point
+// into the bounds. It is the derivative-free multidimensional complement to
+// the scalar searches: robust to the mild non-smoothness of width-solver
+// objectives. x0 seeds the simplex; step sets the initial simplex size per
+// coordinate (a fraction of each bound's width when 0). Returns the best
+// point and value after maxIter iterations or when the simplex's value
+// spread falls below tol.
+func NelderMead(f func([]float64) float64, x0 []float64, bounds []Range, step, tol float64, maxIter int) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, math.Inf(1)
+	}
+	clampVec := func(x []float64) {
+		for i := range x {
+			x[i] = bounds[i].Clamp(x[i])
+		}
+	}
+
+	// Initial simplex: x0 plus one perturbed vertex per coordinate.
+	verts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	verts[0] = append([]float64(nil), x0...)
+	clampVec(verts[0])
+	for i := 0; i < n; i++ {
+		v := append([]float64(nil), verts[0]...)
+		h := step
+		if h <= 0 {
+			h = 0.1 * bounds[i].Width()
+		}
+		v[i] += h
+		if v[i] > bounds[i].Hi { // step the other way at the boundary
+			v[i] = verts[0][i] - h
+		}
+		clampVec(v)
+		verts[i+1] = v
+	}
+	for i := range verts {
+		vals[i] = f(verts[i])
+	}
+
+	idx := make([]int, n+1)
+	for i := range idx {
+		idx[i] = i
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	// The diameter floor keeps a value-spread tie from terminating a simplex
+	// that straddles the minimum symmetrically (the values agree while the
+	// vertices are still far apart).
+	diamTol := 0.0
+	for i := range bounds {
+		if w := 1e-7 * bounds[i].Width(); w > diamTol {
+			diamTol = w
+		}
+	}
+	diameter := func() float64 {
+		d := 0.0
+		for _, v := range verts[1:] {
+			for j := 0; j < n; j++ {
+				if dj := math.Abs(v[j] - verts[0][j]); dj > d {
+					d = dj
+				}
+			}
+		}
+		return d
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+		best, worst := idx[0], idx[n]
+		if spread := vals[worst] - vals[best]; spread >= 0 && spread <= tol &&
+			!math.IsInf(vals[worst], 1) && diameter() <= diamTol {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, n)
+		for _, id := range idx[:n] {
+			for j := 0; j < n; j++ {
+				centroid[j] += verts[id][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		at := func(coef float64) ([]float64, float64) {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				x[j] = centroid[j] + coef*(centroid[j]-verts[worst][j])
+			}
+			clampVec(x)
+			return x, f(x)
+		}
+		xr, fr := at(alpha)
+		switch {
+		case fr < vals[best]:
+			if xe, fe := at(gamma); fe < fr {
+				verts[worst], vals[worst] = xe, fe
+			} else {
+				verts[worst], vals[worst] = xr, fr
+			}
+		case fr < vals[idx[n-1]]:
+			verts[worst], vals[worst] = xr, fr
+		default:
+			if xc, fc := at(-rho); fc < vals[worst] {
+				verts[worst], vals[worst] = xc, fc
+			} else {
+				// Shrink everything toward the best vertex.
+				for _, id := range idx[1:] {
+					for j := 0; j < n; j++ {
+						verts[id][j] = verts[best][j] + sigma*(verts[id][j]-verts[best][j])
+					}
+					clampVec(verts[id])
+					vals[id] = f(verts[id])
+				}
+			}
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	return verts[idx[0]], vals[idx[0]]
+}

@@ -1,0 +1,63 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1.5)*(x[0]-1.5) + 3*(x[1]+0.5)*(x[1]+0.5)
+	}
+	bounds := []Range{{-5, 5}, {-5, 5}}
+	x, fx := NelderMead(f, []float64{4, 4}, bounds, 0, 1e-12, 500)
+	if math.Abs(x[0]-1.5) > 1e-4 || math.Abs(x[1]+0.5) > 1e-4 || fx > 1e-7 {
+		t.Errorf("NM bowl = %v (f=%v)", x, fx)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	bounds := []Range{{-2, 2}, {-1, 3}}
+	x, fx := NelderMead(f, []float64{-1.2, 1}, bounds, 0.2, 1e-14, 3000)
+	if math.Abs(x[0]-1) > 1e-2 || math.Abs(x[1]-1) > 1e-2 {
+		t.Errorf("NM rosenbrock = %v (f=%v)", x, fx)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	// Minimum of (x+3)² over [0,5] is at the boundary x=0.
+	f := func(x []float64) float64 { return (x[0] + 3) * (x[0] + 3) }
+	x, _ := NelderMead(f, []float64{4}, []Range{{0, 5}}, 0, 1e-12, 300)
+	if x[0] < 0 || x[0] > 5 {
+		t.Fatalf("NM left the box: %v", x)
+	}
+	if x[0] > 1e-3 {
+		t.Errorf("NM boundary minimum = %v, want ~0", x[0])
+	}
+}
+
+func TestNelderMeadInfPlateaus(t *testing.T) {
+	// Feasible valley surrounded by +Inf: the simplex must not get stuck
+	// when seeded inside the feasible region.
+	f := func(x []float64) float64 {
+		if x[0] < 0.5 || x[0] > 2.5 {
+			return math.Inf(1)
+		}
+		return (x[0] - 1.7) * (x[0] - 1.7)
+	}
+	x, fx := NelderMead(f, []float64{1.0}, []Range{{0, 4}}, 0.2, 1e-12, 300)
+	if math.Abs(x[0]-1.7) > 1e-3 || math.IsInf(fx, 1) {
+		t.Errorf("NM plateau = %v (f=%v)", x, fx)
+	}
+}
+
+func TestNelderMeadDegenerate(t *testing.T) {
+	if x, fx := NelderMead(func(x []float64) float64 { return 0 }, nil, nil, 0, 1e-9, 10); x != nil || !math.IsInf(fx, 1) {
+		t.Errorf("empty input: %v %v", x, fx)
+	}
+}

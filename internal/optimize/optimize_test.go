@@ -1,0 +1,229 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{2, 6}
+	if r.Mid() != 4 || r.Width() != 4 {
+		t.Errorf("mid/width = %v/%v", r.Mid(), r.Width())
+	}
+	if lo := r.Lower(); lo.Lo != 2 || lo.Hi != 4 {
+		t.Errorf("Lower = %+v", lo)
+	}
+	if hi := r.Higher(); hi.Lo != 4 || hi.Hi != 6 {
+		t.Errorf("Higher = %+v", hi)
+	}
+	if r.Clamp(0) != 2 || r.Clamp(9) != 6 || r.Clamp(3) != 3 {
+		t.Error("Clamp broken")
+	}
+	if !r.Contains(2) || !r.Contains(6) || r.Contains(6.1) {
+		t.Error("Contains broken")
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Range{3, 1}).Validate(); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := (Range{math.NaN(), 1}).Validate(); err == nil {
+		t.Error("NaN range accepted")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Range{0, 1}.Linspace(5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Fatalf("linspace = %v", pts)
+		}
+	}
+	if pts := (Range{0, 1}).Linspace(1); len(pts) != 1 || pts[0] != 0.5 {
+		t.Errorf("degenerate linspace = %v", pts)
+	}
+}
+
+func TestMinSatisfying(t *testing.T) {
+	// pred: x >= 3.7 on [0,10].
+	x, ok := MinSatisfying(Range{0, 10}, 40, func(v float64) bool { return v >= 3.7 })
+	if !ok || math.Abs(x-3.7) > 1e-9 {
+		t.Errorf("MinSatisfying = %v ok=%v, want ~3.7", x, ok)
+	}
+	// Never satisfiable.
+	if _, ok := MinSatisfying(Range{0, 10}, 40, func(v float64) bool { return false }); ok {
+		t.Error("unsatisfiable predicate reported ok")
+	}
+	// Already satisfied at Lo.
+	x, ok = MinSatisfying(Range{5, 10}, 40, func(v float64) bool { return v >= 1 })
+	if !ok || x != 5 {
+		t.Errorf("lo-satisfied = %v ok=%v", x, ok)
+	}
+}
+
+func TestMinSatisfyingAlwaysReturnsSatisfying(t *testing.T) {
+	f := func(threshRaw float64, steps uint8) bool {
+		thresh := math.Mod(math.Abs(threshRaw), 10)
+		pred := func(v float64) bool { return v >= thresh }
+		x, ok := MinSatisfying(Range{0, 10}, int(steps%30)+1, pred)
+		return ok && pred(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSatisfying(t *testing.T) {
+	x, ok := MaxSatisfying(Range{0, 10}, 40, func(v float64) bool { return v <= 6.2 })
+	if !ok || math.Abs(x-6.2) > 1e-9 {
+		t.Errorf("MaxSatisfying = %v ok=%v", x, ok)
+	}
+	if _, ok := MaxSatisfying(Range{0, 10}, 40, func(v float64) bool { return false }); ok {
+		t.Error("unsatisfiable predicate reported ok")
+	}
+	x, ok = MaxSatisfying(Range{0, 10}, 40, func(v float64) bool { return true })
+	if !ok || x != 10 {
+		t.Errorf("hi-satisfied = %v ok=%v", x, ok)
+	}
+}
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 2.5) * (x - 2.5) }
+	x, fx := GoldenSection(f, Range{0, 10}, 1e-9, 200)
+	if math.Abs(x-2.5) > 1e-6 || fx > 1e-10 {
+		t.Errorf("golden = (%v, %v)", x, fx)
+	}
+}
+
+func TestGoldenSectionEdgeMinimum(t *testing.T) {
+	// Monotone increasing: minimum at the left edge.
+	x, _ := GoldenSection(func(x float64) float64 { return x }, Range{1, 4}, 1e-9, 200)
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("edge minimum = %v, want 1", x)
+	}
+}
+
+func TestBrentQuadraticAndAbs(t *testing.T) {
+	x, fx := Brent(func(x float64) float64 { return (x + 1.25) * (x + 1.25) }, Range{-10, 10}, 1e-10, 200)
+	if math.Abs(x+1.25) > 1e-6 || fx > 1e-10 {
+		t.Errorf("brent quadratic = (%v, %v)", x, fx)
+	}
+	// Non-smooth unimodal function.
+	x, _ = Brent(math.Abs, Range{-3, 5}, 1e-10, 200)
+	if math.Abs(x) > 1e-6 {
+		t.Errorf("brent |x| = %v", x)
+	}
+}
+
+func TestBrentMatchesGolden(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) + math.Exp(-2*x) } // min at ln(2)/3
+	want := math.Log(2) / 3
+	xg, _ := GoldenSection(f, Range{-2, 2}, 1e-10, 300)
+	xb, _ := Brent(f, Range{-2, 2}, 1e-10, 300)
+	if math.Abs(xg-want) > 1e-6 || math.Abs(xb-want) > 1e-6 {
+		t.Errorf("golden %v brent %v want %v", xg, xb, want)
+	}
+}
+
+func TestGridMin(t *testing.T) {
+	x, fx := GridMin(func(x float64) float64 { return (x - 3) * (x - 3) }, Range{0, 10}, 101)
+	if math.Abs(x-3) > 0.06 || fx > 0.01 {
+		t.Errorf("grid = (%v, %v)", x, fx)
+	}
+}
+
+func TestCoordinateDescentConvexQuadratic(t *testing.T) {
+	// f = (x−1)² + 2(y+2)² + xy/10 — strictly convex.
+	f := func(v []float64) float64 {
+		x, y := v[0], v[1]
+		return (x-1)*(x-1) + 2*(y+2)*(y+2) + x*y/10
+	}
+	bounds := []Range{{-5, 5}, {-5, 5}}
+	x, fx := CoordinateDescent(f, []float64{4, 4}, bounds, 50, 1e-12)
+	if fx > f([]float64{1.05, -2.03})+1e-3 {
+		t.Errorf("descent stalled at %v (f=%v)", x, fx)
+	}
+	// Gradient-ish check: tiny perturbations should not improve much.
+	for i := range x {
+		for _, d := range []float64{-1e-3, 1e-3} {
+			y := append([]float64(nil), x...)
+			y[i] += d
+			if f(y) < fx-1e-6 {
+				t.Errorf("coordinate %d not at minimum", i)
+			}
+		}
+	}
+}
+
+func TestCoordinateDescentDoesNotMutateX0(t *testing.T) {
+	x0 := []float64{3, 3}
+	CoordinateDescent(func(v []float64) float64 { return v[0]*v[0] + v[1]*v[1] },
+		x0, []Range{{-4, 4}, {-4, 4}}, 5, 0)
+	if x0[0] != 3 || x0[1] != 3 {
+		t.Error("x0 mutated")
+	}
+}
+
+func TestAnnealQuadratic(t *testing.T) {
+	cfg := AnnealConfig{Passes: 2, StepsPerPass: 4000, T0: 10, TFinal: 1e-5, Seed: 3}
+	energy := func(x float64) float64 { return (x - 4) * (x - 4) }
+	neighbor := func(x float64, rng *rand.Rand) float64 { return x + rng.NormFloat64() }
+	best, bestE, err := Anneal(cfg, -20.0, energy, neighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best-4) > 0.5 || bestE > 0.3 {
+		t.Errorf("anneal best = %v (E=%v)", best, bestE)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultAnnealConfig()
+	energy := func(x float64) float64 { return math.Abs(x - 1) }
+	neighbor := func(x float64, rng *rand.Rand) float64 { return x + rng.NormFloat64()*0.5 }
+	a1, e1, _ := Anneal(cfg, 0.0, energy, neighbor)
+	a2, e2, _ := Anneal(cfg, 0.0, energy, neighbor)
+	if a1 != a2 || e1 != e2 {
+		t.Error("same seed, different result")
+	}
+}
+
+func TestAnnealRejectsInfCandidates(t *testing.T) {
+	cfg := AnnealConfig{Passes: 1, StepsPerPass: 500, T0: 5, TFinal: 1e-3, Seed: 7}
+	// Energy is +Inf outside [0, 2]; inside it's (x−1)².
+	energy := func(x float64) float64 {
+		if x < 0 || x > 2 {
+			return math.Inf(1)
+		}
+		return (x - 1) * (x - 1)
+	}
+	neighbor := func(x float64, rng *rand.Rand) float64 { return x + rng.NormFloat64() }
+	best, bestE, err := Anneal(cfg, 1.5, energy, neighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(bestE, 1) || best < 0 || best > 2 {
+		t.Errorf("anneal accepted infeasible state: %v (E=%v)", best, bestE)
+	}
+}
+
+func TestAnnealConfigValidation(t *testing.T) {
+	energy := func(x float64) float64 { return x * x }
+	neighbor := func(x float64, rng *rand.Rand) float64 { return x }
+	bad := []AnnealConfig{
+		{Passes: 0, StepsPerPass: 10, T0: 1, TFinal: 0.1},
+		{Passes: 1, StepsPerPass: 0, T0: 1, TFinal: 0.1},
+		{Passes: 1, StepsPerPass: 10, T0: 0, TFinal: 0.1},
+		{Passes: 1, StepsPerPass: 10, T0: 1, TFinal: 2},
+		{Passes: 1, StepsPerPass: 10, T0: 1, TFinal: 0},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Anneal(cfg, 1.0, energy, neighbor); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmosopt/internal/design"
+)
+
+// mapIn maps an arbitrary float into [lo, hi].
+func mapIn(raw, lo, hi float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		raw = 0.5
+	}
+	frac := math.Mod(math.Abs(raw), 1)
+	return lo + frac*(hi-lo)
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	c, ev, tech := fixture(t)
+	f := func(vddR, vtsR, wR float64) bool {
+		a := design.Uniform(c.N(),
+			mapIn(vddR, tech.VddMin, tech.VddMax),
+			mapIn(vtsR, tech.VtsMin, tech.VtsMax),
+			mapIn(wR, tech.WMin, tech.WMax))
+		for i := range c.Gates {
+			b := ev.GateEnergy(i, a)
+			if b.Static < 0 || b.Dynamic < 0 || math.IsNaN(b.Total()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticMonotoneInWidthProperty(t *testing.T) {
+	c, ev, tech := fixture(t)
+	f := func(vddR, vtsR, w1R, w2R float64) bool {
+		vdd := mapIn(vddR, tech.VddMin, tech.VddMax)
+		vts := mapIn(vtsR, tech.VtsMin, tech.VtsMax)
+		w1 := mapIn(w1R, tech.WMin, tech.WMax)
+		w2 := mapIn(w2R, tech.WMin, tech.WMax)
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		a1 := design.Uniform(c.N(), vdd, vts, w1)
+		a2 := design.Uniform(c.N(), vdd, vts, w2)
+		return ev.Total(a1).Static <= ev.Total(a2).Static*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicMonotoneInVddProperty(t *testing.T) {
+	c, ev, tech := fixture(t)
+	f := func(v1R, v2R, vtsR, wR float64) bool {
+		v1 := mapIn(v1R, tech.VddMin, tech.VddMax)
+		v2 := mapIn(v2R, tech.VddMin, tech.VddMax)
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		vts := mapIn(vtsR, tech.VtsMin, tech.VtsMax)
+		w := mapIn(wR, tech.WMin, tech.WMax)
+		a1 := design.Uniform(c.N(), v1, vts, w)
+		a2 := design.Uniform(c.N(), v2, vts, w)
+		return ev.Total(a1).Dynamic <= ev.Total(a2).Dynamic*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticMonotoneDecreasingInVtsProperty(t *testing.T) {
+	c, ev, tech := fixture(t)
+	f := func(vddR, t1R, t2R, wR float64) bool {
+		vdd := mapIn(vddR, tech.VddMin, tech.VddMax)
+		t1 := mapIn(t1R, tech.VtsMin, tech.VtsMax)
+		t2 := mapIn(t2R, tech.VtsMin, tech.VtsMax)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		w := mapIn(wR, tech.WMin, tech.WMax)
+		a1 := design.Uniform(c.N(), vdd, t1, w)
+		a2 := design.Uniform(c.N(), vdd, t2, w)
+		return ev.Total(a1).Static >= ev.Total(a2).Static*(1-1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package power
+
+import (
+	"math"
+
+	"cmosopt/internal/design"
+)
+
+// Short-circuit dissipation. The paper neglects it ("under typical input
+// signal rise time and output load conditions it is an order-of-magnitude
+// smaller than the switching energy [12]") but notes it is "being
+// incorporated in the next version of the optimization tool" — this file is
+// that next-version component, following Veendrick's classic model
+// (JSSC 1984, the paper's reference [12]): for a symmetric gate with input
+// rise time τ and both devices conducting while V_t < V_in < V_dd − V_t,
+//
+//	E_sc ≈ (K/12) · (V_dd − 2·V_ts)^α+1/V_dd · w · τ        per transition
+//
+// (the α-power-law generalization of Veendrick's (β/12)(Vdd−2Vt)³·τ/Vdd
+// form; it vanishes when V_dd ≤ 2·V_ts, which is precisely the regime the
+// joint optimizer lands in — making the model's own neglect of E_sc
+// self-consistent at the optimum).
+
+// ShortCircuitGate returns the per-cycle short-circuit energy of one gate.
+// The input rise time is approximated, as in Veendrick's analysis, by twice
+// the largest driver gate delay; driverDelay passes that in.
+func (e *Evaluator) ShortCircuitGate(id int, a *design.Assignment, driverDelay float64) float64 {
+	g := e.C.Gate(id)
+	if !g.IsLogic() {
+		return 0
+	}
+	vdd := a.Vdd
+	vts := a.Vts[id]
+	overlap := vdd - 2*vts
+	if overlap <= 0 || driverDelay <= 0 {
+		return 0 // devices never conduct simultaneously
+	}
+	tau := 2 * driverDelay
+	// Peak current of the contention path at V_in = V_dd/2 scaled by the
+	// conduction-window shape factor 1/12 of the triangular approximation.
+	iPeak := a.W[id] * e.Tech.KSat * math.Pow(overlap/2, e.Tech.Alpha)
+	return e.Act.Density[id] * iPeak * overlap * tau / 12
+}
+
+// TotalWithShortCircuit returns the network energy including the
+// short-circuit component, given per-gate delays (used as driver rise
+// times). The breakdown's Dynamic field includes E_sc.
+func (e *Evaluator) TotalWithShortCircuit(a *design.Assignment, gateDelays []float64) (Breakdown, float64) {
+	var sum Breakdown
+	sc := 0.0
+	for i := range e.C.Gates {
+		g := e.C.Gate(i)
+		sum.Add(e.GateEnergy(i, a))
+		if !g.IsLogic() {
+			continue
+		}
+		maxIn := 0.0
+		for _, f := range g.Fanin {
+			if gateDelays[f] > maxIn {
+				maxIn = gateDelays[f]
+			}
+		}
+		sc += e.ShortCircuitGate(i, a, maxIn)
+	}
+	sum.Dynamic += sc
+	return sum, sc
+}

@@ -1,0 +1,78 @@
+package power
+
+import (
+	"testing"
+
+	"cmosopt/internal/design"
+)
+
+func TestShortCircuitZeroBelowTwoVt(t *testing.T) {
+	// The joint optimizer's regime: Vdd ≤ 2·Vt → no simultaneous conduction.
+	c, ev, _ := fixture(t)
+	a := design.Uniform(c.N(), 0.25, 0.15, 2)
+	g := c.GateByName("g")
+	if sc := ev.ShortCircuitGate(g.ID, a, 1e-10); sc != 0 {
+		t.Errorf("E_sc = %v below the conduction threshold, want 0", sc)
+	}
+}
+
+func TestShortCircuitZeroForInstantEdge(t *testing.T) {
+	c, ev, _ := fixture(t)
+	a := design.Uniform(c.N(), 3.3, 0.7, 2)
+	g := c.GateByName("g")
+	if sc := ev.ShortCircuitGate(g.ID, a, 0); sc != 0 {
+		t.Errorf("E_sc = %v with zero rise time, want 0", sc)
+	}
+}
+
+func TestShortCircuitGrowsWithRiseTimeAndOverlap(t *testing.T) {
+	c, ev, _ := fixture(t)
+	g := c.GateByName("g")
+	a := design.Uniform(c.N(), 3.3, 0.7, 2)
+	slow := ev.ShortCircuitGate(g.ID, a, 2e-10)
+	fast := ev.ShortCircuitGate(g.ID, a, 1e-10)
+	if slow <= fast {
+		t.Error("E_sc should grow with input rise time")
+	}
+	aHi := design.Uniform(c.N(), 3.3, 0.3, 2)
+	if ev.ShortCircuitGate(g.ID, aHi, 1e-10) <= fast {
+		t.Error("E_sc should grow with conduction overlap (lower Vt)")
+	}
+}
+
+func TestShortCircuitOrderOfMagnitudeBelowSwitching(t *testing.T) {
+	// The paper's justification for neglecting E_sc: under typical rise
+	// times it is an order of magnitude below the switching energy. Verify
+	// at the Table 1 operating point with rise times equal to gate delays.
+	c, ev, _ := fixture(t)
+	a := design.Uniform(c.N(), 3.3, 0.7, 2)
+	delays := make([]float64, c.N())
+	for i := range delays {
+		delays[i] = 1e-10 // ~typical gate delay at this point
+	}
+	total, sc := ev.TotalWithShortCircuit(a, delays)
+	if sc <= 0 {
+		t.Fatal("expected nonzero short-circuit energy at Vdd=3.3, Vt=0.7")
+	}
+	if sc > total.Dynamic/5 {
+		t.Errorf("E_sc = %v is not small next to dynamic %v", sc, total.Dynamic)
+	}
+	// And the breakdown includes it.
+	plain := ev.Total(a)
+	if total.Dynamic <= plain.Dynamic {
+		t.Error("TotalWithShortCircuit did not add E_sc to the dynamic component")
+	}
+	if total.Static != plain.Static {
+		t.Error("short-circuit accounting must not touch static energy")
+	}
+}
+
+func TestShortCircuitInputsContributeNothing(t *testing.T) {
+	c, ev, _ := fixture(t)
+	a := design.Uniform(c.N(), 3.3, 0.7, 2)
+	for _, id := range c.PIs {
+		if sc := ev.ShortCircuitGate(id, a, 1e-10); sc != 0 {
+			t.Errorf("input %d short-circuit energy %v", id, sc)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"math"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/design"
+)
+
+// State-dependent leakage. The paper's Eq. A1 charges every gate a single
+// I_off·w regardless of its logic state; in reality which network leaks —
+// and through how many series devices — depends on the output value:
+//
+//   - output high (probability P(i)): the pull-down NMOS network is off; a
+//     series stack of f_ii devices leaks exponentially less than one device
+//     (the stack effect), modeled as a 1/s^(f_ii−1) suppression;
+//   - output low: the pull-up PMOS network is off; for a NAND it is f_ii
+//     parallel devices of β-scaled width (more leakage), for a NOR a series
+//     stack (less).
+//
+// The refinement uses the activity profile's signal probabilities, tying the
+// two halves of the paper's §2 "Given" (activity profile, device technology)
+// together in the static term as well.
+
+// stackSuppress is the per-series-device leakage suppression factor of the
+// stack effect (≈2–10 in practice; 3 is a conservative bulk value).
+const stackSuppress = 3.0
+
+// StateAwareStatic returns the per-cycle static energy of one gate with
+// state- and topology-dependent leakage. Gate types reduce to their
+// NAND-like (series pull-down) or NOR-like (series pull-up) structure;
+// XOR/XNOR count as two-high stacks on both sides.
+func (e *Evaluator) StateAwareStatic(id int, a *design.Assignment) float64 {
+	g := e.C.Gate(id)
+	if !g.IsLogic() {
+		return 0
+	}
+	w := a.W[id]
+	vdd := a.VddAt(id)
+	// Base per-width off current of a single device (no LeakStack fudge —
+	// the structure below replaces it).
+	unit := e.Tech.IdUnit(0, a.Vts[id]) + e.Tech.IJunc
+	fii := g.NumFanin()
+	p := e.Act.Prob[id]
+
+	var nmosOff, pmosOff float64 // leakage when output high / low
+	switch g.Type {
+	case circuit.Nand, circuit.And:
+		// Series NMOS (suppressed), parallel PMOS (β-wide, f_ii of them).
+		nmosOff = unit / math.Pow(stackSuppress, float64(fii-1))
+		pmosOff = float64(fii) * e.Tech.Beta * unit
+	case circuit.Nor, circuit.Or:
+		// Parallel NMOS, series PMOS.
+		nmosOff = float64(fii) * unit
+		pmosOff = e.Tech.Beta * unit / math.Pow(stackSuppress, float64(fii-1))
+	case circuit.Not, circuit.Buf:
+		nmosOff = unit
+		pmosOff = e.Tech.Beta * unit
+	default: // Xor, Xnor: two-high stacks both sides, 2·(f_ii−1) branches
+		br := float64(2 * maxIntp(fii-1, 1))
+		nmosOff = br * unit / stackSuppress
+		pmosOff = br * e.Tech.Beta * unit / stackSuppress
+	}
+	// Output high → pull-down leaks; output low → pull-up leaks.
+	ioff := p*nmosOff + (1-p)*pmosOff
+	return vdd * w * ioff / e.Fc
+}
+
+func maxIntp(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TotalStateAware returns the network energy with the state-dependent static
+// model in place of Eq. A1 (dynamic energy unchanged).
+func (e *Evaluator) TotalStateAware(a *design.Assignment) Breakdown {
+	var sum Breakdown
+	for i := range e.C.Gates {
+		b := e.GateEnergy(i, a)
+		b.Static = e.StateAwareStatic(i, a)
+		sum.Add(b)
+	}
+	return sum
+}

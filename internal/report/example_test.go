@@ -1,0 +1,34 @@
+package report_test
+
+import (
+	"fmt"
+	"os"
+
+	"cmosopt/internal/report"
+)
+
+func ExampleEng() {
+	fmt.Println(report.Eng(2.95e-13, "J"))
+	fmt.Println(report.Eng(0.744, "V"))
+	fmt.Println(report.Eng(3e8, "Hz"))
+	// Output:
+	// 295 fJ
+	// 744 mV
+	// 300 MHz
+}
+
+func ExampleTable() {
+	t := &report.Table{
+		Title:   "demo",
+		Headers: []string{"circuit", "savings"},
+	}
+	t.AddRow("s298", "10.3x")
+	t.AddRow("s344", "8.2x")
+	_ = t.Render(os.Stdout)
+	// Output:
+	// demo
+	// circuit  savings
+	// -------  -------
+	// s298     10.3x
+	// s344     8.2x
+}

@@ -1,0 +1,184 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a 2-D grid as ASCII shading: values map onto a density
+// ramp from the grid minimum (darkest glyph) to the maximum; +Inf cells
+// (infeasible regions) render as '·'. Rows are printed top-to-bottom in the
+// given order; xLabel/yLabel annotate the axes.
+func Heatmap(title string, grid [][]float64, xLabel, yLabel string) string {
+	const ramp = "@#%*+=-: " // low value = dark = '@'
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	if math.IsInf(minV, 1) {
+		sb.WriteString("(no finite data)\n")
+		return sb.String()
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	for r, row := range grid {
+		if r == 0 && yLabel != "" {
+			fmt.Fprintf(&sb, "%s\n", yLabel)
+		}
+		sb.WriteString("  |")
+		for _, v := range row {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				sb.WriteByte('.')
+				continue
+			}
+			idx := int((v - minV) / (maxV - minV) * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +")
+	width := 0
+	if len(grid) > 0 {
+		width = len(grid[0])
+	}
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	if xLabel != "" {
+		fmt.Fprintf(&sb, "   %s\n", xLabel)
+	}
+	fmt.Fprintf(&sb, "   @ = %.3g (best)   space = %.3g   . = infeasible\n", minV, maxV)
+	return sb.String()
+}
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte // plot glyph; 0 defaults to '*'
+}
+
+// AsciiPlot renders one or more series as a fixed-size character plot with
+// axis annotations — enough to eyeball the monotone trends of the paper's
+// Figure 2 in a terminal. Width and height are the plot-area dimensions in
+// characters (minimums apply).
+func AsciiPlot(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return title + "\n(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = marker
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", pad))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	xLo := fmt.Sprintf("%.3g", minX)
+	xHi := fmt.Sprintf("%.3g", maxX)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(strings.Repeat(" ", pad+2))
+	sb.WriteString(xLo)
+	sb.WriteString(strings.Repeat(" ", gap))
+	sb.WriteString(xHi)
+	sb.WriteByte('\n')
+	for _, s := range series {
+		if s.Name == "" {
+			continue
+		}
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&sb, "%s %c = %s\n", strings.Repeat(" ", pad), marker, s.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasic(t *testing.T) {
+	s := []Series{{
+		Name: "savings",
+		X:    []float64{0, 10, 20, 30},
+		Y:    []float64{10.3, 8.7, 7.0, 5.7},
+	}}
+	out := AsciiPlot("fig", s, 40, 10)
+	if !strings.Contains(out, "fig") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "10.3") || !strings.Contains(out, "5.7") {
+		t.Errorf("missing y-axis labels:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "30") {
+		t.Errorf("missing x-axis labels:\n%s", out)
+	}
+	if strings.Count(out, "*") != 5 { // 4 data points + the legend glyph
+		t.Errorf("expected 4 markers plus legend:\n%s", out)
+	}
+	if !strings.Contains(out, "* = savings") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestAsciiPlotMonotoneSeriesDescends(t *testing.T) {
+	// A decreasing series must place later points on lower rows.
+	s := []Series{{X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}}}
+	out := AsciiPlot("", s, 30, 9)
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for r, line := range lines {
+		if strings.Contains(line, "*") {
+			for range line[strings.Index(line, "*"):] {
+				// one row may hold one point here; record the row once per *
+			}
+			count := strings.Count(line, "*")
+			for i := 0; i < count; i++ {
+				rows = append(rows, r)
+			}
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("markers = %d:\n%s", len(rows), out)
+	}
+}
+
+func TestAsciiPlotTwoSeries(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}, Marker: 'a'},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{2, 1}, Marker: 'b'},
+	}
+	out := AsciiPlot("two", s, 20, 8)
+	if !strings.Contains(out, "a = a") || !strings.Contains(out, "b = b") {
+		t.Errorf("legend broken:\n%s", out)
+	}
+	if strings.Count(out, "a") < 2 || strings.Count(out, "b") < 2 {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	if out := AsciiPlot("t", nil, 20, 8); !strings.Contains(out, "no finite data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	s := []Series{{X: []float64{1}, Y: []float64{math.Inf(1)}}}
+	if out := AsciiPlot("t", s, 20, 8); !strings.Contains(out, "no finite data") {
+		t.Errorf("inf plot = %q", out)
+	}
+	// Single finite point must not divide by zero.
+	s = []Series{{X: []float64{1}, Y: []float64{5}}}
+	out := AsciiPlot("t", s, 20, 8)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}
+
+func TestHeatmapBasic(t *testing.T) {
+	grid := [][]float64{
+		{1, 2, 3},
+		{4, math.Inf(1), 6},
+		{7, 8, 9},
+	}
+	out := Heatmap("hm", grid, "x", "y")
+	if !strings.Contains(out, "hm") || !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Errorf("minimum glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("infeasible glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 (best)") {
+		t.Errorf("legend missing min value:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	rowLen := -1
+	for _, l := range lines {
+		if strings.HasPrefix(l, "  |") {
+			if rowLen == -1 {
+				rowLen = len(l)
+			} else if len(l) != rowLen {
+				t.Errorf("ragged rows:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := Heatmap("t", nil, "", ""); !strings.Contains(out, "no finite data") {
+		t.Errorf("empty heatmap = %q", out)
+	}
+	if out := Heatmap("t", [][]float64{{math.Inf(1)}}, "", ""); !strings.Contains(out, "no finite data") {
+		t.Errorf("all-inf heatmap = %q", out)
+	}
+	// Constant grid must not divide by zero.
+	out := Heatmap("t", [][]float64{{5, 5}}, "", "")
+	if !strings.Contains(out, "@") {
+		t.Errorf("constant grid:\n%s", out)
+	}
+}

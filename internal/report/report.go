@@ -1,0 +1,197 @@
+// Package report renders the reproduction's result tables: plain-text
+// aligned tables, Markdown, CSV, and engineering-notation number formatting
+// matching the paper's presentation (energies in J/cycle, delays in ns).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Eng formats x in engineering notation with an SI prefix and unit, e.g.
+// 1.23e-12 J → "1.23 pJ".
+func Eng(x float64, unit string) string {
+	switch {
+	case math.IsNaN(x):
+		return "NaN"
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	case x == 0:
+		return "0 " + unit
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	prefixes := []struct {
+		exp float64
+		sym string
+	}{
+		{-18, "a"}, {-15, "f"}, {-12, "p"}, {-9, "n"}, {-6, "µ"}, {-3, "m"},
+		{0, ""}, {3, "k"}, {6, "M"}, {9, "G"}, {12, "T"},
+	}
+	e := math.Floor(math.Log10(x))
+	k := math.Floor(e/3) * 3
+	if k < prefixes[0].exp {
+		k = prefixes[0].exp
+	}
+	if k > prefixes[len(prefixes)-1].exp {
+		k = prefixes[len(prefixes)-1].exp
+	}
+	mant := x / math.Pow(10, k)
+	// %.3g rounding can carry 999.6 → 1000; roll over to the next prefix.
+	if mant >= 999.5 && k < prefixes[len(prefixes)-1].exp {
+		mant /= 1000
+		k += 3
+	}
+	sym := ""
+	for _, p := range prefixes {
+		if p.exp == k {
+			sym = p.sym
+		}
+	}
+	s := fmt.Sprintf("%.3g %s%s", mant, sym, unit)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// Sci formats x in scientific notation with 3 significant digits, matching
+// the paper's table style (e.g. "1.23e-12").
+func Sci(x float64) string {
+	if x == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", x)
+}
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		if s, ok := c.(string); ok {
+			row[i] = s
+		} else {
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len([]rune(c)) > w[i] {
+				w[i] = len([]rune(c))
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(widths))
+	for i, n := range widths {
+		sep[i] = strings.Repeat("-", n)
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, n int) string {
+	if d := n - len([]rune(s)); d > 0 {
+		return s + strings.Repeat(" ", d)
+	}
+	return s
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	// strings.Builder writes never fail.
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// RenderMarkdown writes the table as GitHub-flavored Markdown.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (no quoting: callers pass plain cells).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

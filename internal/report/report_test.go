@@ -1,0 +1,99 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEng(t *testing.T) {
+	cases := []struct {
+		x    float64
+		unit string
+		want string
+	}{
+		{1.23e-12, "J", "1.23 pJ"},
+		{4.56e-9, "s", "4.56 ns"},
+		{0.5, "V", "500 mV"},
+		{2.0, "V", "2 V"},
+		{3.3e3, "Hz", "3.3 kHz"},
+		{3e8, "Hz", "300 MHz"},
+		{0, "J", "0 J"},
+		{-1.5e-6, "A", "-1.5 µA"},
+		{1e-20, "J", "0.01 aJ"},
+		{0.99999, "V", "1 V"}, // rounding must roll over the prefix
+		{999.7e-15, "J", "1 pJ"},
+	}
+	for _, c := range cases {
+		if got := Eng(c.x, c.unit); got != c.want {
+			t.Errorf("Eng(%v,%q) = %q, want %q", c.x, c.unit, got, c.want)
+		}
+	}
+	if got := Eng(math.Inf(1), "J"); got != "+Inf" {
+		t.Errorf("Eng(+Inf) = %q", got)
+	}
+	if got := Eng(math.NaN(), "J"); got != "NaN" {
+		t.Errorf("Eng(NaN) = %q", got)
+	}
+}
+
+func TestSci(t *testing.T) {
+	if got := Sci(1.234e-12); got != "1.23e-12" {
+		t.Errorf("Sci = %q", got)
+	}
+	if got := Sci(0); got != "0" {
+		t.Errorf("Sci(0) = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"name", "value"}}
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns aligned: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("column misaligned: %d vs %d\n%s", got, idx, out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Title: "M", Headers: []string{"a", "b"}}
+	tb.AddRow("x", "y")
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### M", "| a | b |", "| --- | --- |", "| x | y |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}

@@ -1,0 +1,187 @@
+// Package timing implements the paper's §4.2 machinery: path criticality,
+// enumeration of the K most critical paths in decreasing criticality (a
+// modified Ju–Saleh incremental enumeration), and Procedure 1 — the
+// assignment of a maximum-delay budget to every gate such that no circuit
+// path exceeds the (skew-derated) cycle time.
+//
+// The criticality N_cj of a path is the sum of the *effective* fanouts of
+// its logic gates. The paper defines N_c with raw fanout counts, assuming
+// gate delay proportional to fanout; our delay model (like any real one) has
+// a per-gate intrinsic component — self-loading, series stack, interconnect —
+// so the effective fanout here is fanout+1 (with a gate driving no internal
+// net still counting its off-module load). This keeps the budget shares of
+// low-fanout gates on hub-heavy paths reachable, which the paper otherwise
+// restores through its §4.2 post-processing.
+package timing
+
+import (
+	"fmt"
+
+	"cmosopt/internal/circuit"
+)
+
+// Analysis caches the per-gate criticality data of one combinational
+// circuit: effective fanouts and the maximum path criticality upstream (Up)
+// and downstream (Down) of every logic gate, both inclusive of the gate.
+type Analysis struct {
+	C     *circuit.Circuit
+	FoEff []int // effective fanout per gate (max(1, fanout) for logic gates)
+	Up    []int // max criticality of a path from an input up to gate i
+	Down  []int // max criticality of a path from gate i down to a path end
+	order []int
+	isPO  []bool
+}
+
+// NewAnalysis builds the criticality analysis. The circuit must be
+// combinational.
+func NewAnalysis(c *circuit.Circuit) (*Analysis, error) {
+	if c.IsSequential() {
+		return nil, fmt.Errorf("timing: circuit %q is sequential; cut DFFs first", c.Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		C:     c,
+		FoEff: make([]int, c.N()),
+		Up:    make([]int, c.N()),
+		Down:  make([]int, c.N()),
+		order: order,
+		isPO:  make([]bool, c.N()),
+	}
+	for _, id := range c.POs {
+		a.isPO[id] = true
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if !g.IsLogic() {
+			continue
+		}
+		fo := g.NumFanout()
+		if fo < 1 {
+			fo = 1 // a sink still drives the module output load
+		}
+		a.FoEff[i] = fo + 1 // +1: the gate's intrinsic (self-loading) share
+	}
+	// Up: forward pass. Inputs contribute nothing.
+	for _, id := range order {
+		g := c.Gate(id)
+		if !g.IsLogic() {
+			continue
+		}
+		best := 0
+		for _, f := range g.Fanin {
+			if c.Gate(f).IsLogic() && a.Up[f] > best {
+				best = a.Up[f]
+			}
+		}
+		a.Up[id] = a.FoEff[id] + best
+	}
+	// Down: reverse pass. A path may end at any gate with no fanout, or at a
+	// primary output; continuing through a PO's internal fanout only raises
+	// criticality, so the max is always to continue when fanout exists.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := c.Gate(id)
+		if !g.IsLogic() {
+			continue
+		}
+		best := 0
+		for _, f := range g.Fanout {
+			if a.Down[f] > best {
+				best = a.Down[f]
+			}
+		}
+		a.Down[id] = a.FoEff[id] + best
+	}
+	return a, nil
+}
+
+// PathCriticality returns the criticality of a path given as logic gate IDs.
+func (a *Analysis) PathCriticality(path []int) int {
+	n := 0
+	for _, id := range path {
+		n += a.FoEff[id]
+	}
+	return n
+}
+
+// MaxCriticality returns the criticality of the most critical path in the
+// network.
+func (a *Analysis) MaxCriticality() int {
+	best := 0
+	for i := range a.C.Gates {
+		if a.C.Gates[i].IsLogic() && a.Down[i] > best {
+			// Down of input-fed gates bounds full paths; Up+Down−FoEff of any
+			// gate is the max path through it, so taking max over the
+			// through-criticality of all gates is equivalent.
+			if th := a.Through(i); th > best {
+				best = th
+			}
+		}
+	}
+	return best
+}
+
+// Through returns the criticality of the most critical full path passing
+// through gate id.
+func (a *Analysis) Through(id int) int {
+	return a.Up[id] + a.Down[id] - a.FoEff[id]
+}
+
+// pathThrough reconstructs a most-critical path passing through the given
+// gate by walking maximum-Up fanins and maximum-Down fanouts.
+func (a *Analysis) pathThrough(id int) []int {
+	var upSeg []int
+	for cur := id; ; {
+		upSeg = append(upSeg, cur)
+		next, best := -1, 0
+		for _, f := range a.C.Gate(cur).Fanin {
+			if a.C.Gate(f).IsLogic() && a.Up[f] > best {
+				best, next = a.Up[f], f
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	// upSeg is id..input-side; reverse into path order.
+	path := make([]int, 0, len(upSeg)+8)
+	for i := len(upSeg) - 1; i >= 0; i-- {
+		path = append(path, upSeg[i])
+	}
+	for cur := id; ; {
+		next, best := -1, 0
+		for _, f := range a.C.Gate(cur).Fanout {
+			if a.Down[f] > best {
+				best, next = a.Down[f], f
+			}
+		}
+		if next < 0 {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// MostCriticalPath returns one maximally critical input-to-output path as
+// logic gate IDs in input-to-output order.
+func (a *Analysis) MostCriticalPath() []int {
+	bestID, best := -1, -1
+	for i := range a.C.Gates {
+		if !a.C.Gates[i].IsLogic() {
+			continue
+		}
+		if th := a.Through(i); th > best {
+			best, bestID = th, i
+		}
+	}
+	if bestID < 0 {
+		return nil
+	}
+	return a.pathThrough(bestID)
+}

@@ -1,0 +1,91 @@
+package timing
+
+import "container/heap"
+
+// KBestPaths enumerates up to k complete input-to-output paths in
+// non-increasing order of criticality, the role of the modified Ju–Saleh
+// incremental enumeration in the paper (with path criticality redefined from
+// gate count to fanout sum). It runs best-first over partial paths with the
+// admissible bound A(prefix) + Down(next), so each completed path popped from
+// the heap is the next most critical.
+func (a *Analysis) KBestPaths(k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	h := &stateHeap{}
+	heap.Init(h)
+	// A path starts at a logic gate fed by at least one primary input.
+	for i := range a.C.Gates {
+		g := &a.C.Gates[i]
+		if !g.IsLogic() {
+			continue
+		}
+		fed := false
+		for _, f := range g.Fanin {
+			if !a.C.Gate(f).IsLogic() {
+				fed = true
+				break
+			}
+		}
+		if fed {
+			heap.Push(h, &state{gate: i, acc: a.FoEff[i], bound: a.Down[i]})
+		}
+	}
+	var out [][]int
+	for h.Len() > 0 && len(out) < k {
+		s := heap.Pop(h).(*state)
+		if s.ended {
+			out = append(out, s.path())
+			continue
+		}
+		g := a.C.Gate(s.gate)
+		if a.isPO[s.gate] || g.NumFanout() == 0 {
+			// The ended marker's parent chain starts at s, which already
+			// includes this gate.
+			heap.Push(h, &state{gate: s.gate, acc: s.acc, bound: s.acc, ended: true, parent: s})
+		}
+		for _, f := range g.Fanout {
+			heap.Push(h, &state{gate: f, acc: s.acc + a.FoEff[f], bound: s.acc + a.Down[f], parent: s})
+		}
+	}
+	return out
+}
+
+// state is a partial (or, when ended, complete) path in the best-first
+// enumeration. parent links reconstruct the gate sequence.
+type state struct {
+	gate   int
+	acc    int // criticality of the prefix, inclusive of gate
+	bound  int // upper bound on any completion's criticality
+	ended  bool
+	parent *state
+}
+
+func (s *state) path() []int {
+	var rev []int
+	cur := s
+	if cur.ended {
+		cur = cur.parent
+	}
+	for ; cur != nil; cur = cur.parent {
+		rev = append(rev, cur.gate)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type stateHeap struct{ states []*state }
+
+func (h *stateHeap) Len() int           { return len(h.states) }
+func (h *stateHeap) Less(i, j int) bool { return h.states[i].bound > h.states[j].bound }
+func (h *stateHeap) Swap(i, j int)      { h.states[i], h.states[j] = h.states[j], h.states[i] }
+func (h *stateHeap) Push(x any)         { h.states = append(h.states, x.(*state)) }
+func (h *stateHeap) Pop() any {
+	old := h.states
+	n := len(old)
+	s := old[n-1]
+	h.states = old[:n-1]
+	return s
+}
