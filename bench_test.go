@@ -419,7 +419,7 @@ func BenchmarkAblationRiseFall(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		baseRatio = p.Delay.CriticalDelayRiseFall(base.Assignment) / base.CriticalDelay
+		baseRatio = p.Eval.DelayModel().CriticalDelayRiseFall(base.Assignment) / base.CriticalDelay
 
 		joint, err := p.OptimizeJoint(core.DefaultOptions())
 		if err != nil {
@@ -434,7 +434,7 @@ func BenchmarkAblationRiseFall(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, id := range ids {
-			r, f := p.Delay.GateDelayRiseFall(id, joint.Assignment, 0)
+			r, f := p.Eval.DelayModel().GateDelayRiseFall(id, joint.Assignment, 0)
 			if r > 1 || f > 1 { // +Inf or absurd: unswitchable
 				stuck++
 			}
@@ -495,7 +495,7 @@ func BenchmarkAblationActivityObjective(b *testing.B) {
 				if !p.C.Gates[gi].IsLogic() {
 					continue
 				}
-				base := p.Power.GateEnergy(gi, res.Assignment).Dynamic
+				base := p.Eval.GateEnergy(gi, res.Assignment).Dynamic
 				if d := p.Act.Density[gi]; d > 1e-12 {
 					total += base * mc.Density[gi] / d
 				}
@@ -514,7 +514,7 @@ func BenchmarkSTA(b *testing.B) {
 	a := design.Uniform(p.C.N(), 1.0, 0.15, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Delay.CriticalDelay(a)
+		p.Eval.CriticalDelay(a)
 	}
 }
 
@@ -536,7 +536,7 @@ func BenchmarkPowerTotal(b *testing.B) {
 	a := design.Uniform(p.C.N(), 1.0, 0.15, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Power.Total(a)
+		p.Eval.Energy(a)
 	}
 }
 
@@ -567,6 +567,45 @@ func BenchmarkDelayModelSingleGate(b *testing.B) {
 	id := ids[len(ids)/2]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Delay.GateDelayWith(id, a, 1e-10)
+		p.Eval.GateDelayWith(id, a, 1e-10)
+	}
+}
+
+// BenchmarkEngineFullEval measures one full cached delay+energy evaluation
+// through the engine — the steady-state cost of a Procedure 2 probe point.
+func BenchmarkEngineFullEval(b *testing.B) {
+	p := problemFor(b, "s510", 0.5)
+	a := design.Uniform(p.C.N(), 1.0, 0.15, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Eval.CriticalDelay(a)
+		p.Eval.Energy(a)
+	}
+	b.ReportMetric(float64(p.Eval.Metrics().CoeffMisses), "coeff-misses")
+}
+
+// BenchmarkEngineIncremental measures a bound width edit: re-time the dirty
+// cone and re-price the touched gates instead of sweeping the circuit.
+func BenchmarkEngineIncremental(b *testing.B) {
+	p := problemFor(b, "s510", 0.5)
+	a := design.Uniform(p.C.N(), 1.0, 0.15, 2)
+	p.Eval.Bind(a)
+	defer p.Eval.Unbind()
+	ids, err := p.C.LogicIDs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Eval.Metrics().Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		p.Eval.SetWidth(id, 2+float64(i%7))
+		_ = p.Eval.BoundCriticalDelay()
+		_ = p.Eval.BoundEnergy()
+	}
+	b.StopTimer()
+	m := p.Eval.Metrics()
+	if m.IncrementalEdits > 0 {
+		b.ReportMetric(float64(m.DirtyGates)/float64(m.IncrementalEdits), "dirty-gates/edit")
 	}
 }

@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("full rerun %s in %d evaluations\n",
 		report.Eng(full.Energy.Total(), "J"), full.Evaluations)
 	fmt.Printf("\nThe warm start closes the ECO in ~%.0fx fewer circuit evaluations for a\n",
-		float64(full.Evaluations)/float64(maxI(eco.Evaluations, 1)))
+		float64(full.Evaluations)/float64(max(eco.Evaluations, 1)))
 	fmt.Printf("%.0f%% energy premium over the full rerun.\n",
 		(eco.Energy.Total()/full.Energy.Total()-1)*100)
 }
@@ -102,11 +102,4 @@ func graftObserver(c *circuit.Circuit) *circuit.Circuit {
 		log.Fatal(err)
 	}
 	return nc
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

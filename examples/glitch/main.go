@@ -68,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := sim.New(p.C, p.Delay, res.Assignment)
+	s, err := sim.New(p.C, p.Eval.DelayModel(), res.Assignment)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func main() {
 			if !p.C.Gates[i].IsLogic() {
 				continue
 			}
-			base := p.Power.GateEnergy(i, res.Assignment).Dynamic
+			base := p.Eval.GateEnergy(i, res.Assignment).Dynamic
 			if d := p.Act.Density[i]; d > 1e-12 {
 				total += base * density(i) / d
 			}
@@ -112,13 +112,13 @@ func main() {
 	se := make([]float64, p.C.N())
 	for i := range p.C.Gates {
 		if p.C.Gates[i].IsLogic() {
-			se[i] = p.Power.GateEnergy(i, res.Assignment).Dynamic
+			se[i] = p.Eval.GateEnergy(i, res.Assignment).Dynamic
 			if d := p.Act.Density[i]; d > 1e-12 {
 				se[i] /= d // energy per single transition
 			}
 		}
 	}
-	s2, err := sim.New(p.C, p.Delay, res.Assignment)
+	s2, err := sim.New(p.C, p.Eval.DelayModel(), res.Assignment)
 	if err != nil {
 		log.Fatal(err)
 	}

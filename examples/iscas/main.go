@@ -83,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	path, delay := p.Delay.CriticalPath(joint.Assignment)
+	path, delay := p.Eval.CriticalPath(joint.Assignment)
 	fmt.Printf("critical path (%s):", report.Eng(delay, "s"))
 	for _, id := range path {
 		fmt.Printf(" %s", p.C.Gate(id).Name)

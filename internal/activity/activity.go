@@ -31,17 +31,10 @@ func (s InputSpec) validate() error {
 	if s.Density < 0 {
 		return fmt.Errorf("activity: negative density %v", s.Density)
 	}
-	if lim := 2 * minF(s.Prob, 1-s.Prob); s.Density > lim+1e-12 {
+	if lim := 2 * min(s.Prob, 1-s.Prob); s.Density > lim+1e-12 {
 		return fmt.Errorf("activity: density %v unrealizable for probability %v (max %v)", s.Density, s.Prob, lim)
 	}
 	return nil
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Profile holds per-gate statistics, indexed by gate ID.

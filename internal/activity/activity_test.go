@@ -147,7 +147,7 @@ func TestPropagateErrors(t *testing.T) {
 func TestPropagateBoundsProperty(t *testing.T) {
 	f := func(seed int64, pRaw, dRaw float64) bool {
 		p := math.Mod(math.Abs(pRaw), 1)
-		dMax := 2 * minF(p, 1-p)
+		dMax := 2 * min(p, 1-p)
 		d := math.Mod(math.Abs(dRaw), 1) * dMax
 		c, err := netgen.Generate(netgen.Config{Name: "prop", Gates: 60, Depth: 6, PIs: 5, POs: 4}, seed)
 		if err != nil {

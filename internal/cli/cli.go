@@ -160,8 +160,8 @@ func PrintResult(out io.Writer, p *core.Problem, res *core.Result) {
 	fmt.Fprintf(out, "static E   %s/cycle\n", report.Eng(res.Energy.Static, "J"))
 	fmt.Fprintf(out, "dynamic E  %s/cycle\n", report.Eng(res.Energy.Dynamic, "J"))
 	fmt.Fprintf(out, "total E    %s/cycle\n", report.Eng(res.Energy.Total(), "J"))
-	fmt.Fprintf(out, "power      %s at %s\n", report.Eng(p.Power.Power(res.Energy), "W"), report.Eng(p.Fc, "Hz"))
-	fmt.Fprintf(out, "evals      %d full-circuit width solves\n", res.Evaluations)
+	fmt.Fprintf(out, "power      %s at %s\n", report.Eng(p.Eval.AvgPower(res.Energy), "W"), report.Eng(p.Fc, "Hz"))
+	fmt.Fprintf(out, "evals      %d full-circuit evaluation equivalents\n", res.Evaluations)
 
 	minW, maxW, sumW, n := 1e18, 0.0, 0.0, 0
 	for i := range p.C.Gates {
@@ -341,15 +341,15 @@ func Verify(args []string, out io.Writer) error {
 		return fmt.Errorf("design violates technology limits: %v", err)
 	}
 
-	cd := p.Delay.CriticalDelay(a)
-	e := p.Power.Total(a)
+	cd := p.Eval.CriticalDelay(a)
+	e := p.Eval.Energy(a)
 	budget := p.CycleBudget()
 	fmt.Fprintf(out, "circuit        %s (%d gates)\n", p.C.Name, p.C.NumLogic())
 	fmt.Fprintf(out, "critical delay %s (budget %s)\n", report.Eng(cd, "s"), report.Eng(budget, "s"))
 	fmt.Fprintf(out, "static energy  %s/cycle\n", report.Eng(e.Static, "J"))
 	fmt.Fprintf(out, "dynamic energy %s/cycle\n", report.Eng(e.Dynamic, "J"))
 	fmt.Fprintf(out, "total energy   %s/cycle (%s at %s)\n",
-		report.Eng(e.Total(), "J"), report.Eng(p.Power.Power(e), "W"), report.Eng(p.Fc, "Hz"))
+		report.Eng(e.Total(), "J"), report.Eng(p.Eval.AvgPower(e), "W"), report.Eng(p.Fc, "Hz"))
 	if cd <= budget {
 		fmt.Fprintln(out, "TIMING PASS")
 		return nil

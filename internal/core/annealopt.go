@@ -46,7 +46,7 @@ type annealState struct {
 // cycle budget. The returned result reports the best *feasible* state seen;
 // the error is non-nil only for bad configuration.
 func (p *Problem) OptimizeAnneal(opts AnnealOptions) (*Result, error) {
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 	n := p.C.N()
 	budget := p.CycleBudget()
 
@@ -56,9 +56,8 @@ func (p *Problem) OptimizeAnneal(opts AnnealOptions) (*Result, error) {
 	bestFeasibleE := math.Inf(1)
 
 	score := func(s annealState) float64 {
-		p.evaluations++
-		e := p.Power.Total(s.a).Total()
-		cd := p.Delay.CriticalDelay(s.a)
+		e := p.Eval.Energy(s.a).Total()
+		cd := p.Eval.CriticalDelay(s.a)
 		if cd <= budget {
 			if e < bestFeasibleE {
 				bestFeasibleE = e
@@ -105,12 +104,4 @@ func (p *Problem) OptimizeAnneal(opts AnnealOptions) (*Result, error) {
 	return res, nil
 }
 
-func clamp(x, lo, hi float64) float64 {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
-}
+func clamp(x, lo, hi float64) float64 { return min(max(x, lo), hi) }

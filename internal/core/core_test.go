@@ -202,10 +202,13 @@ func TestJointPaperShapes(t *testing.T) {
 	if joint.CriticalDelay > p.CycleBudget() {
 		t.Errorf("joint critical delay %v exceeds budget %v", joint.CriticalDelay, p.CycleBudget())
 	}
-	// O(M³) accounting: width solves bounded by M (Vdd) × M (Vts) sweeps,
-	// each costing at most WidthPasses counted evaluations.
-	if max := 12 * 12 * 4; joint.Evaluations > max {
-		t.Errorf("evaluations %d exceed M²·passes bound %d", joint.Evaluations, max)
+	// O(M³) accounting at probe granularity: M (Vdd) × M (Vts) width solves,
+	// each costing per pass at most 2·(M+2)+2 gate probes per gate (two
+	// binary searches when the fallback fires, plus the final delay) and one
+	// full verification sweep — all in full-circuit-evaluation equivalents.
+	const M, passes = 12, 4
+	if bound := M * M * (passes*(2*M+6) + 1); joint.Evaluations > bound {
+		t.Errorf("evaluations %d exceed O(M³) probe bound %d", joint.Evaluations, bound)
 	}
 }
 

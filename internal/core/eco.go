@@ -28,7 +28,7 @@ func (p *Problem) WarmStart(prevC *circuit.Circuit, prev *design.Assignment, opt
 	if len(prev.Vts) != prevC.N() {
 		return nil, 0, false, fmt.Errorf("core: previous design sized %d, previous circuit has %d gates", len(prev.Vts), prevC.N())
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 
 	// Default threshold for new gates: the previous design's dominant value.
 	defVt := p.Tech.VtsMin

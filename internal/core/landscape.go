@@ -93,7 +93,7 @@ func (p *Problem) PolishNelderMead(res *Result, opts Options) (*Result, error) {
 	if len(res.VtsValues) != 1 {
 		return res, nil // only single-threshold results have a 2-D surface
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 	bestE := res.Energy.Total()
 	var bestA *design.Assignment
 	obj := func(x []float64) float64 {

@@ -32,13 +32,14 @@ func (p *Problem) OptimizeDualVdd(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 
 	ids, err := p.C.LogicIDs()
 	if err != nil {
 		return nil, err
 	}
-	td := p.Delay.Delays(base.Assignment)
+	// Engine scratch, consumed immediately below.
+	td := p.Eval.Delays(base.Assignment)
 	slackFrac := make([]float64, p.C.N())
 	for _, id := range ids {
 		if b := p.Budgets.TMax[id]; b > 0 {
@@ -117,7 +118,7 @@ func (p *Problem) OptimizeDualVdd(opts Options) (*Result, error) {
 		if !p.solveWidths(a, opts.M, opts.WidthPasses) {
 			return math.Inf(1), a, false
 		}
-		return p.Power.Total(a).Total(), a, true
+		return p.Eval.Energy(a).Total(), a, true
 	}
 
 	// Two-dimensional search: the single-rail optimum is already the lowest

@@ -131,14 +131,14 @@ func TestPerGateVddAffectsModels(t *testing.T) {
 		}
 	}
 	per.VddPer[sink] = 0.5
-	if p.Power.GateEnergy(sink, per).Total() >= p.Power.GateEnergy(sink, uni).Total() {
+	if p.Eval.GateEnergy(sink, per).Total() >= p.Eval.GateEnergy(sink, uni).Total() {
 		t.Error("lower rail did not reduce the gate's energy")
 	}
-	if p.Power.Total(per).Total() >= p.Power.Total(uni).Total() {
+	if p.Eval.Energy(per).Total() >= p.Eval.Energy(uni).Total() {
 		t.Error("lower rail did not reduce total energy")
 	}
 	// And its delay must grow.
-	if p.Delay.GateDelayWith(sink, per, 0) <= p.Delay.GateDelayWith(sink, uni, 0) {
+	if p.Eval.GateDelayWith(sink, per, 0) <= p.Eval.GateDelayWith(sink, uni, 0) {
 		t.Error("lower rail did not slow the gate")
 	}
 }

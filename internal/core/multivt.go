@@ -37,15 +37,16 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	if nv == 1 {
 		return base, nil
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 
 	// Partition logic gates by realized slack fraction at the single-Vt
-	// optimum: group 0 = least slack (most critical).
+	// optimum: group 0 = least slack (most critical). The Delays result is
+	// engine scratch, consumed immediately below.
 	ids, err := p.C.LogicIDs()
 	if err != nil {
 		return nil, err
 	}
-	td := p.Delay.Delays(base.Assignment)
+	td := p.Eval.Delays(base.Assignment)
 	slackFrac := make([]float64, p.C.N())
 	for _, id := range ids {
 		b := p.Budgets.TMax[id]
@@ -78,7 +79,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 		if !p.solveWidths(a, opts.M, opts.WidthPasses) {
 			return math.Inf(1), a, false
 		}
-		return p.Power.Total(a).Total(), a, true
+		return p.Eval.Energy(a).Total(), a, true
 	}
 
 	bestE, bestA, ok := evalGroups(groupVts)

@@ -71,11 +71,11 @@ func TestFullPipeline(t *testing.T) {
 
 	// 4. Verification must reproduce the optimizer's numbers bit-for-bit
 	// (same models, same values, different gate numbering).
-	cd := p2.Delay.CriticalDelay(loaded)
+	cd := p2.Eval.CriticalDelay(loaded)
 	if math.Abs(cd-res.CriticalDelay)/res.CriticalDelay > 1e-12 {
 		t.Errorf("critical delay %v != optimizer's %v", cd, res.CriticalDelay)
 	}
-	e := p2.Power.Total(loaded)
+	e := p2.Eval.Energy(loaded)
 	if math.Abs(e.Total()-res.Energy.Total())/res.Energy.Total() > 1e-12 {
 		t.Errorf("energy %v != optimizer's %v", e.Total(), res.Energy.Total())
 	}

@@ -12,9 +12,9 @@ import (
 
 	"cmosopt/internal/activity"
 	"cmosopt/internal/circuit"
-	"cmosopt/internal/delay"
 	"cmosopt/internal/design"
 	"cmosopt/internal/device"
+	"cmosopt/internal/eval"
 	"cmosopt/internal/power"
 	"cmosopt/internal/timing"
 	"cmosopt/internal/wiring"
@@ -56,21 +56,20 @@ type Spec struct {
 }
 
 // Problem is a fully elaborated optimization instance: combinational circuit,
-// activity profile, wiring model, model evaluators, and per-gate delay
+// activity profile, wiring model, the evaluation engine, and per-gate delay
 // budgets from Procedure 1.
 type Problem struct {
 	C       *circuit.Circuit
 	Tech    device.Tech
 	Act     *activity.Profile
 	Wire    *wiring.Model
-	Power   *power.Evaluator
-	Delay   *delay.Evaluator
+	Eval    *eval.Engine
 	Timing  *timing.Analysis
 	Budgets *timing.BudgetResult
 	Fc      float64
 	Skew    float64
 
-	evaluations int // full-circuit width-solve evaluations (O(M³) accounting)
+	wtd []float64 // solveWidths per-pass delay scratch
 }
 
 // NewProblem elaborates a Spec: cuts DFFs, propagates activities, builds the
@@ -125,20 +124,12 @@ func NewProblem(s Spec) (*Problem, error) {
 		act = &activity.Profile{Prob: corr.Prob, Density: corr.Density}
 	}
 
-	wire, err := wiring.New(s.Wiring, maxInt(c.NumLogic(), 1))
+	wire, err := wiring.New(s.Wiring, max(c.NumLogic(), 1))
 	if err != nil {
 		return nil, err
 	}
 	if s.SampleNets {
 		wire.SampleNets(c.N(), s.NetSeed)
-	}
-	pe, err := power.New(c, &s.Tech, act, wire, s.Fc)
-	if err != nil {
-		return nil, err
-	}
-	de, err := delay.New(c, &s.Tech, wire)
-	if err != nil {
-		return nil, err
 	}
 	ta, err := timing.NewAnalysis(c)
 	if err != nil {
@@ -168,30 +159,26 @@ func NewProblem(s Spec) (*Problem, error) {
 		Tech:    s.Tech,
 		Act:     act,
 		Wire:    wire,
-		Power:   pe,
-		Delay:   de,
 		Timing:  ta,
 		Budgets: bres,
 		Fc:      s.Fc,
 		Skew:    s.Skew,
 	}
+	if p.Eval, err = eval.New(c, &p.Tech, act, wire, s.Fc); err != nil {
+		return nil, err
+	}
 	p.repairUnreachableBudgets()
 	return p, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // CycleBudget returns the skew-derated cycle time b·T_c.
 func (p *Problem) CycleBudget() float64 { return p.Skew / p.Fc }
 
-// Evaluations returns the number of full-circuit width solves performed so
-// far (the unit of the paper's O(M³) complexity claim).
-func (p *Problem) Evaluations() int { return p.evaluations }
+// Evaluations returns the full-circuit-evaluation-equivalent work performed
+// so far (the unit of the paper's O(M³) complexity claim): every single-gate
+// delay-model call — full sweeps, width-bisection probes, incremental cone
+// updates — counts as 1/M of a full circuit evaluation.
+func (p *Problem) Evaluations() int { return int(math.Round(p.Eval.FullEvalEquivalents())) }
 
 // Result is the outcome of one optimization run.
 type Result struct {
@@ -219,17 +206,17 @@ func (r *Result) Savings(other *Result) float64 {
 	return other.Energy.Total() / t
 }
 
-func (p *Problem) finishResult(method string, a *design.Assignment, feasible bool, evalsBefore int) *Result {
-	e := p.Power.Total(a)
+func (p *Problem) finishResult(method string, a *design.Assignment, feasible bool, evalsBefore float64) *Result {
+	e := p.Eval.Energy(a)
 	return &Result{
 		Method:        method,
 		Assignment:    a,
 		Energy:        e,
-		CriticalDelay: p.Delay.CriticalDelay(a),
-		Feasible:      feasible && p.Delay.CriticalDelay(a) <= p.CycleBudget()*(1+1e-9),
+		CriticalDelay: p.Eval.CriticalDelay(a),
+		Feasible:      feasible && p.Eval.CriticalDelay(a) <= p.CycleBudget()*(1+1e-9),
 		Vdd:           a.Vdd,
 		VtsValues:     p.distinctLogicVts(a),
-		Evaluations:   p.evaluations - evalsBefore,
+		Evaluations:   int(math.Round(p.Eval.FullEvalEquivalents() - evalsBefore)),
 		Objective:     e.Total(),
 	}
 }

@@ -98,7 +98,7 @@ func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 			powerView.Vts[i] = vts * o.VtPowerFactor
 		}
 	}
-	return p.Power.Total(powerView).Total(), nominal, true
+	return p.Eval.Energy(powerView).Total(), nominal, true
 }
 
 // OptimizeJoint runs the paper's Procedure 2: nested directional bisection of
@@ -114,7 +114,7 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 	if opts.FixedVt != 0 {
 		return nil, fmt.Errorf("core: OptimizeJoint with FixedVt set; use OptimizeBaseline")
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 
 	type incumbent struct {
 		e   float64
@@ -231,7 +231,7 @@ func (p *Problem) OptimizeBaseline(opts Options) (*Result, error) {
 	if vt < p.Tech.VtsMin || vt > p.Tech.VtsMax {
 		return nil, fmt.Errorf("core: fixed Vt %v outside tech range [%v,%v]", vt, p.Tech.VtsMin, p.Tech.VtsMax)
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 
 	bestE := math.Inf(1)
 	var bestA *design.Assignment

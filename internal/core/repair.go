@@ -33,7 +33,7 @@ func (p *Problem) repairUnreachableBudgets() int {
 	}
 	T := p.CycleBudget()
 	tMax := p.Budgets.TMax
-	slope := p.Delay.SlopeCoeff(p.Tech.VddMax, p.Tech.VtsMax)
+	slope := p.Eval.SlopeCoeff(p.Tech.VddMax, p.Tech.VtsMax)
 
 	// Per-gate floors, topological so fanin budgets are final before use.
 	// The switching floor uses uniform maximum widths: on a tightly budgeted
@@ -51,7 +51,7 @@ func (p *Problem) repairUnreachableBudgets() int {
 				maxFB = tMax[f]
 			}
 		}
-		floor[id] = slope*maxFB + p.Delay.GateDelayWith(id, aRef, 0)
+		floor[id] = slope*maxFB + p.Eval.GateDelayWith(id, aRef, 0)
 		if tMax[id] < floor[id] {
 			tMax[id] = floor[id]
 			raised++

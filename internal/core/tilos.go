@@ -19,22 +19,22 @@ import (
 
 // sizeSensitivity grows widths greedily until the critical delay fits the
 // cycle budget. Returns false when even aggressive upsizing cannot meet it.
+//
+// The loop runs on the engine's incremental mode: the assignment is bound
+// once, each accepted move re-times only the widened gate's fanin loads and
+// fanout cone, and candidate moves are scored with width-override probes —
+// no full-circuit sweep per iteration and no mutate-and-restore on a.W.
 func (p *Problem) sizeSensitivity(a *design.Assignment, step float64) bool {
 	budget := p.CycleBudget()
 	ids, err := p.C.LogicIDs()
 	if err != nil {
 		return false
 	}
+	p.Eval.Bind(a)
+	defer p.Eval.Unbind()
 	const maxIters = 4000
 	for iter := 0; iter < maxIters; iter++ {
-		p.evaluations++
-		arr, td := p.Delay.Arrivals(a)
-		cd := 0.0
-		for _, po := range p.C.POs {
-			if arr[po] > cd {
-				cd = arr[po]
-			}
-		}
+		cd := p.Eval.BoundCriticalDelay()
 		if cd <= budget {
 			return true
 		}
@@ -43,23 +43,19 @@ func (p *Problem) sizeSensitivity(a *design.Assignment, step float64) bool {
 		}
 		// Gates on (near-)critical paths: those with arrival + downstream
 		// criticality close to cd. Use slacks for the candidate set.
-		slack := p.Delay.Slacks(a, budget)
+		slack := p.Eval.BoundSlacks(budget)
+		td := p.Eval.BoundDelays()
 		bestGate, bestGain := -1, 0.0
 		for _, id := range ids {
 			if slack[id] > 0 || a.W[id] >= p.Tech.WMax {
 				continue
 			}
 			old := a.W[id]
-			next := old * (1 + step)
-			if next > p.Tech.WMax {
-				next = p.Tech.WMax
-			}
+			next := min(old*(1+step), p.Tech.WMax)
 			// Local sensitivity: delay change of the gate itself plus the
 			// loading penalty on its drivers, per width increment.
-			before := p.localDelay(a, id, td)
-			a.W[id] = next
-			after := p.localDelay(a, id, td)
-			a.W[id] = old
+			before := p.localDelay(a, id, td, -1, 0)
+			after := p.localDelay(a, id, td, id, next)
 			gain := (before - after) / (next - old)
 			if gain > bestGain {
 				bestGain, bestGate = gain, id
@@ -68,19 +64,17 @@ func (p *Problem) sizeSensitivity(a *design.Assignment, step float64) bool {
 		if bestGate < 0 {
 			return false // no improving move left
 		}
-		w := a.W[bestGate] * (1 + step)
-		if w > p.Tech.WMax {
-			w = p.Tech.WMax
-		}
-		a.W[bestGate] = w
+		p.Eval.SetWidth(bestGate, min(a.W[bestGate]*(1+step), p.Tech.WMax))
 	}
-	return p.Delay.CriticalDelay(a) <= budget
+	return p.Eval.BoundCriticalDelay() <= budget
 }
 
 // localDelay scores the timing cost of gate id and its fanin drivers (whose
 // loads it contributes to), using the current per-gate delays for slope
-// inputs — a cheap local proxy for the global critical delay change.
-func (p *Problem) localDelay(a *design.Assignment, id int, td []float64) float64 {
+// inputs — a cheap local proxy for the global critical delay change. When
+// ov ≥ 0, gate ov's width is taken as wOv wherever it appears (its own
+// switching width and the load it presents to its drivers).
+func (p *Problem) localDelay(a *design.Assignment, id int, td []float64, ov int, wOv float64) float64 {
 	g := p.C.Gate(id)
 	maxIn := 0.0
 	for _, f := range g.Fanin {
@@ -88,7 +82,7 @@ func (p *Problem) localDelay(a *design.Assignment, id int, td []float64) float64
 			maxIn = td[f]
 		}
 	}
-	sum := p.Delay.GateDelayWith(id, a, maxIn)
+	sum := p.Eval.GateDelayOverride(id, a, ov, wOv, maxIn)
 	for _, f := range g.Fanin {
 		d := p.C.Gate(f)
 		if !d.IsLogic() {
@@ -100,7 +94,7 @@ func (p *Problem) localDelay(a *design.Assignment, id int, td []float64) float64
 				dIn = td[ff]
 			}
 		}
-		sum += p.Delay.GateDelayWith(f, a, dIn)
+		sum += p.Eval.GateDelayOverride(f, a, ov, wOv, dIn)
 	}
 	return sum
 }
@@ -112,7 +106,7 @@ func (p *Problem) OptimizeJointSensitivity(opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	evals0 := p.evaluations
+	evals0 := p.Eval.FullEvalEquivalents()
 	const step = 0.25
 
 	bestE := math.Inf(1)
@@ -122,7 +116,7 @@ func (p *Problem) OptimizeJointSensitivity(opts Options) (*Result, error) {
 		if !p.sizeSensitivity(a, step) {
 			return math.Inf(1), false
 		}
-		e := p.Power.Total(a).Total()
+		e := p.Eval.Energy(a).Total()
 		if e < bestE {
 			bestE, bestA = e, a
 		}

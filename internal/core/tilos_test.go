@@ -12,7 +12,7 @@ func TestSensitivitySizerMeetsTiming(t *testing.T) {
 	if !p.sizeSensitivity(a, 0.25) {
 		t.Fatal("sizer failed at a comfortable operating point")
 	}
-	if cd := p.Delay.CriticalDelay(a); cd > p.CycleBudget() {
+	if cd := p.Eval.CriticalDelay(a); cd > p.CycleBudget() {
 		t.Errorf("critical delay %v exceeds budget %v", cd, p.CycleBudget())
 	}
 	// Widths stay in range.

@@ -26,7 +26,10 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 	}
 	budget := p.Budgets.TMax
 	wRange := optimize.Range{Lo: p.Tech.WMin, Hi: p.Tech.WMax}
-	td := make([]float64, p.C.N())
+	if p.wtd == nil {
+		p.wtd = make([]float64, p.C.N())
+	}
+	td := p.wtd
 
 	// The per-gate search targets a slightly tightened budget so the small
 	// delay drift caused by fanouts widening in later sweeps (a gate's load)
@@ -49,11 +52,7 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 			}
 			target := budget[id] * searchMargin
 			pred := func(w float64) bool {
-				old := a.W[id]
-				a.W[id] = w
-				d := p.Delay.GateDelayWith(id, a, maxIn)
-				a.W[id] = old
-				return d <= target
+				return p.Eval.ProbeWidth(id, a, w, maxIn) <= target
 			}
 			w, ok := optimize.MinSatisfying(wRange, mSteps, pred)
 			if !ok {
@@ -63,23 +62,20 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 				// 10 % of the best achievable delay instead of paying the
 				// full WMax energy; the cycle-time check below still
 				// guards the real constraint.
-				a.W[id] = wRange.Hi
-				dBest := p.Delay.GateDelayWith(id, a, maxIn)
+				dBest := p.Eval.ProbeWidth(id, a, wRange.Hi, maxIn)
 				w, _ = optimize.MinSatisfying(wRange, mSteps, func(wc float64) bool {
-					old := a.W[id]
-					a.W[id] = wc
-					d := p.Delay.GateDelayWith(id, a, maxIn)
-					a.W[id] = old
-					return d <= dBest*1.1
+					return p.Eval.ProbeWidth(id, a, wc, maxIn) <= dBest*1.1
 				})
+				// The change detection below measures against the width the
+				// gate ends the search with; on this path that was WMax.
+				a.W[id] = wRange.Hi
 			}
 			if rel := w - a.W[id]; rel > 1e-3*a.W[id] || rel < -1e-3*a.W[id] {
 				changed = true
 			}
 			a.W[id] = w
-			td[id] = p.Delay.GateDelayWith(id, a, maxIn)
+			td[id] = p.Eval.GateDelayWith(id, a, maxIn)
 		}
-		p.evaluations++
 		if !changed {
 			break
 		}
@@ -90,7 +86,7 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 	// of per-gate budgets perturbs path sums by at most the same ε. The
 	// strict cycle-time constraint is re-checked on the final result.
 	const budgetTol = 1.03
-	final := p.Delay.Delays(a)
+	final := p.Eval.Delays(a)
 	for i := range p.C.Gates {
 		if !p.C.Gates[i].IsLogic() {
 			continue

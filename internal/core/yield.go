@@ -51,14 +51,14 @@ func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples in
 			}
 			die.Vts[i] = vt
 		}
-		cd := p.Delay.CriticalDelay(die)
+		cd := p.Eval.CriticalDelay(die)
 		if cd <= budget {
 			pass++
 		}
 		if cd > worst && !math.IsInf(cd, 1) {
 			worst = cd
 		}
-		e := p.Power.Total(die).Total()
+		e := p.Eval.Energy(die).Total()
 		energies = append(energies, e)
 		sum += e
 	}

@@ -67,17 +67,46 @@ func (e *Evaluator) SlopeCoeff(vdd, vts float64) float64 {
 	return k
 }
 
+// Coeffs bundles the per-(V_dd, V_TS) device quantities of the delay and
+// energy models: they depend on the voltage pair only, not on the gate, so an
+// evaluation engine can compute them once per operating point and reuse them
+// across every gate call (see internal/eval). CoeffsAt is the sole producer.
+type Coeffs struct {
+	Slope float64 // input-slope coefficient ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0,1]
+	Idw   float64 // transregional drive current I_Dw per unit width at V_GS = V_dd (A)
+	Ioff  float64 // off-state leakage I_off(V_TS) per unit width (A)
+}
+
+// CoeffsAt computes the device coefficients of one (V_dd, V_TS) operating
+// point — the three transcendental evaluations every gate-delay call needs.
+func (e *Evaluator) CoeffsAt(vdd, vts float64) Coeffs {
+	return Coeffs{
+		Slope: e.SlopeCoeff(vdd, vts),
+		Idw:   e.Tech.IdUnit(vdd, vts),
+		Ioff:  e.Tech.IoffUnit(vts),
+	}
+}
+
 // GateDelayWith returns t_di for a logic gate given the largest gate delay
 // among its drivers (the t_dij term). It returns +Inf when the operating
 // point cannot switch the gate (leakage of the off stacks exceeds the drive
 // current). Input gates have zero delay.
 func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
+	vdd := a.VddAt(id)
+	return e.GateDelayAt(id, a, a.W[id], -1, 0, maxFaninDelay, e.CoeffsAt(vdd, a.Vts[id]))
+}
+
+// GateDelayAt is the width-override evaluation entry point: t_di of gate id
+// computed with an explicit width w for the gate itself (which need not equal
+// a.W[id]) and, when ov ≥ 0, width wOv substituted for gate ov wherever it
+// loads this gate's output. The device coefficients k must come from CoeffsAt
+// (or a cache of it) for this gate's (V_dd, V_TS) pair. Optimizers use this to
+// probe "what if this width changed" without mutating the assignment.
+func (e *Evaluator) GateDelayAt(id int, a *design.Assignment, w float64, ov int, wOv, maxFaninDelay float64, k Coeffs) float64 {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {
 		return 0
 	}
-	w := a.W[id]
-	vts := a.Vts[id]
 	// Per-gate supply in multi-Vdd designs. The gate drive uses its own
 	// rail as the input swing; under the no-low-drives-high clustering rule
 	// the true input swing is at least that, so this is (conservatively)
@@ -85,24 +114,26 @@ func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay fl
 	vdd := a.VddAt(id)
 	t := e.Tech
 
-	idw := t.IdUnit(vdd, vts)
-	ioff := t.IoffUnit(vts)
 	fii := float64(g.NumFanin())
 
-	drive := idw - fii*ioff
-	if drive <= 0 || idw <= 0 {
+	drive := k.Idw - fii*k.Ioff
+	if drive <= 0 || k.Idw <= 0 {
 		return math.Inf(1)
 	}
 
 	// Slope component.
-	td := e.SlopeCoeff(vdd, vts) * maxFaninDelay
+	td := k.Slope * maxFaninDelay
 
 	// Switching component: total output load over net drive current. The
 	// wire contribution is this gate's own net (per-net after SampleNets).
 	load := w * t.CPD
 	cb := e.Wire.BranchCapNet(id)
 	for _, f := range g.Fanout {
-		load += a.W[f]*t.Ct + cb
+		wf := a.W[f]
+		if f == ov {
+			wf = wOv
+		}
+		load += wf*t.Ct + cb
 	}
 	if e.isPO[id] {
 		load += t.COut + cb
@@ -114,7 +145,11 @@ func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay fl
 	fl := e.Wire.FlightTimeNet(id)
 	worst := 0.0
 	for _, f := range g.Fanout {
-		if b := rb*(a.W[f]*t.Ct+cb) + fl; b > worst {
+		wf := a.W[f]
+		if f == ov {
+			wf = wOv
+		}
+		if b := rb*(wf*t.Ct+cb) + fl; b > worst {
 			worst = b
 		}
 	}
@@ -127,7 +162,7 @@ func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay fl
 
 	// Series-stack component: charging f_ii−1 intermediate nodes.
 	if fii > 1 {
-		td += (fii - 1) * t.Cmi * vdd / (2 * w * idw)
+		td += (fii - 1) * t.Cmi * vdd / (2 * w * k.Idw)
 	}
 	return td
 }

@@ -28,7 +28,7 @@ func fixture(t *testing.T) (*circuit.Circuit, *Evaluator) {
 func evalFor(t *testing.T, c *circuit.Circuit) *Evaluator {
 	t.Helper()
 	tech := device.Default350()
-	wire, err := wiring.New(wiring.Default350(), maxInt(c.NumLogic(), 1))
+	wire, err := wiring.New(wiring.Default350(), max(c.NumLogic(), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +37,6 @@ func evalFor(t *testing.T, c *circuit.Circuit) *Evaluator {
 		t.Fatal(err)
 	}
 	return ev
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func TestNewRejects(t *testing.T) {

@@ -1,0 +1,380 @@
+// Package eval is the unified evaluation engine: one object that owns the
+// circuit, technology, wiring model, activity profile and clock, and serves
+// combined delay + energy evaluation to every optimizer. The pure Appendix-A
+// model formulas stay in internal/delay and internal/power; the engine is the
+// only place that constructs those evaluators, and it adds the machinery that
+// makes iterative optimization cheap:
+//
+//   - per-engine scratch buffers, so steady-state full-circuit evaluation
+//     (Delays, Arrivals, CriticalDelay, Slacks, Energy) is allocation-free;
+//   - a per-(V_dd, V_TS) device-coefficient cache: the slope coefficient,
+//     drive current I_Dw and leakage I_off depend on the voltage pair only,
+//     yet cost three transcendental evaluations per gate-delay call when
+//     recomputed inline — Procedure 2 probes every gate dozens of times at a
+//     fixed voltage pair, so one cached triple serves thousands of calls;
+//   - width-override probes (ProbeWidth, GateDelayOverride) that answer
+//     "what would this gate's delay be at width w" without the
+//     mutate-and-restore pattern on the assignment;
+//   - incremental re-evaluation (Bind/SetWidth in incremental.go): editing
+//     one gate's width dirties only its fanin loads and its fanout cone, not
+//     the whole circuit;
+//   - a standardized evaluation-effort meter (Metrics): every gate-delay
+//     model call is counted, and FullEvalEquivalents converts the count into
+//     full-circuit-evaluation units, the paper's O(M³) currency.
+//
+// An Engine is NOT safe for concurrent use: the scratch buffers and the
+// tracked state are engine-owned. Give each goroutine its own Engine (the
+// experiments suite runner builds one Problem — hence one Engine — per
+// worker).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"cmosopt/internal/activity"
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/delay"
+	"cmosopt/internal/design"
+	"cmosopt/internal/device"
+	"cmosopt/internal/power"
+	"cmosopt/internal/wiring"
+)
+
+// maxCoeffEntries bounds the coefficient cache. Optimizers visit a handful of
+// voltage pairs per run, but Monte-Carlo studies draw a fresh V_TS per gate
+// per die; when the map fills, it is cleared rather than grown without bound.
+const maxCoeffEntries = 4096
+
+type coeffKey struct{ vdd, vts float64 }
+
+// Engine evaluates delay and energy for one circuit under one technology,
+// wiring model, activity profile and clock frequency.
+type Engine struct {
+	C    *circuit.Circuit
+	Tech *device.Tech
+	Act  *activity.Profile
+	Wire *wiring.Model
+	Fc   float64
+
+	dm *delay.Evaluator
+	pm *power.Evaluator // nil for a delay-only engine
+
+	order    []int // topological order of gate IDs
+	rank     []int // rank[id] = position of id in order
+	numLogic int
+
+	// Device-coefficient cache with a single-entry fast path: within one
+	// optimizer probe sequence nearly every call shares one voltage pair.
+	lastKey   coeffKey
+	lastCoeff delay.Coeffs
+	haveLast  bool
+	cache     map[coeffKey]delay.Coeffs
+
+	// Scratch for the full-evaluation APIs (valid until the next Engine call).
+	td, arr, req, slack []float64
+
+	// Tracked state for incremental evaluation (see incremental.go).
+	bound         *design.Assignment
+	curTd, curArr []float64
+	stE, dyE      []float64
+	dirty         []int // binary heap of gate IDs ordered by rank
+	inDirty       []bool
+
+	met Metrics
+}
+
+// New builds the evaluation engine for a combinational circuit, constructing
+// the delay and power model evaluators internally.
+func New(c *circuit.Circuit, tech *device.Tech, act *activity.Profile, wire *wiring.Model, fc float64) (*Engine, error) {
+	e, err := NewDelayOnly(c, tech, wire)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.New(c, tech, act, wire, fc)
+	if err != nil {
+		return nil, err
+	}
+	e.Act = act
+	e.Fc = fc
+	e.pm = pm
+	return e, nil
+}
+
+// NewDelayOnly builds an engine without an energy model (no activity profile
+// or clock needed) — enough for timing-only consumers such as the logic
+// simulator's tests. Energy methods panic on a delay-only engine.
+func NewDelayOnly(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*Engine, error) {
+	dm, err := delay.New(c, tech, wire)
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int, c.N())
+	for i, id := range order {
+		rank[id] = i
+	}
+	return &Engine{
+		C:        c,
+		Tech:     tech,
+		Wire:     wire,
+		dm:       dm,
+		order:    order,
+		rank:     rank,
+		numLogic: c.NumLogic(),
+		cache:    make(map[coeffKey]delay.Coeffs),
+		td:       make([]float64, c.N()),
+		arr:      make([]float64, c.N()),
+	}, nil
+}
+
+// DelayModel exposes the underlying pure delay evaluator for model-level
+// analyses the engine does not cache (rise/fall resolution, the simulator).
+func (e *Engine) DelayModel() *delay.Evaluator { return e.dm }
+
+// PowerModel exposes the underlying pure energy evaluator.
+func (e *Engine) PowerModel() *power.Evaluator { return e.pm }
+
+// Metrics returns the engine's evaluation counters.
+func (e *Engine) Metrics() *Metrics { return &e.met }
+
+// FullEvalEquivalents converts the gate-delay call count into full-circuit
+// evaluation units: one unit is one delay-model call per logic gate.
+func (e *Engine) FullEvalEquivalents() float64 {
+	return float64(e.met.GateDelayCalls) / float64(max(e.numLogic, 1))
+}
+
+// coeffs returns the cached device coefficients of one voltage pair.
+func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
+	k := coeffKey{vdd, vts}
+	if e.haveLast && k == e.lastKey {
+		e.met.CoeffHits++
+		return e.lastCoeff
+	}
+	c, ok := e.cache[k]
+	if !ok {
+		e.met.CoeffMisses++
+		c = e.dm.CoeffsAt(vdd, vts)
+		if len(e.cache) >= maxCoeffEntries {
+			clear(e.cache)
+		}
+		e.cache[k] = c
+	} else {
+		e.met.CoeffHits++
+	}
+	e.lastKey, e.lastCoeff, e.haveLast = k, c, true
+	return c
+}
+
+// gateDelay evaluates gate id's delay at width w through the coefficient
+// cache. It is the single funnel every delay number flows through, which is
+// what makes the GateDelayCalls counter a faithful effort meter.
+func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
+	e.met.GateDelayCalls++
+	return e.dm.GateDelayAt(id, a, w, -1, 0, maxFaninDelay, e.coeffs(a.VddAt(id), a.Vts[id]))
+}
+
+// GateDelayWith returns t_di of one gate given the largest fanin gate delay,
+// evaluated through the coefficient cache. Input gates have zero delay.
+func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
+	if !e.C.Gate(id).IsLogic() {
+		return 0
+	}
+	return e.gateDelay(id, a, a.W[id], maxFaninDelay)
+}
+
+// ProbeWidth returns gate id's delay as if its width were w, without touching
+// the assignment — the width-override API that replaces the save/restore
+// mutation pattern in the width solver.
+func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
+	e.met.WidthProbes++
+	return e.gateDelay(id, a, w, maxFaninDelay)
+}
+
+// GateDelayOverride returns gate id's delay with gate ov's width taken as wOv
+// wherever it appears: id's own switching width when ov == id, or the input
+// load ov presents when it is one of id's fanouts. ov = -1 evaluates the
+// assignment as is. Sensitivity sizers use this to score a neighbor's width
+// move without mutating the assignment.
+func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, maxFaninDelay float64) float64 {
+	if !e.C.Gate(id).IsLogic() {
+		return 0
+	}
+	e.met.WidthProbes++
+	e.met.GateDelayCalls++
+	w := a.W[id]
+	if ov == id {
+		w = wOv
+	}
+	return e.dm.GateDelayAt(id, a, w, ov, wOv, maxFaninDelay, e.coeffs(a.VddAt(id), a.Vts[id]))
+}
+
+// SlopeCoeff returns the input-rise-time coefficient of one voltage pair.
+func (e *Engine) SlopeCoeff(vdd, vts float64) float64 { return e.dm.SlopeCoeff(vdd, vts) }
+
+// delaysInto computes per-gate delays in topological order into dst.
+func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
+	e.met.FullDelaySweeps++
+	for _, id := range e.order {
+		g := e.C.Gate(id)
+		if !g.IsLogic() {
+			dst[id] = 0
+			continue
+		}
+		maxIn := 0.0
+		for _, f := range g.Fanin {
+			if dst[f] > maxIn {
+				maxIn = dst[f]
+			}
+		}
+		dst[id] = e.gateDelay(id, a, a.W[id], maxIn)
+	}
+}
+
+// arrivalsInto computes worst arrival times from the delays in td into dst.
+func (e *Engine) arrivalsInto(dst, td []float64) {
+	for _, id := range e.order {
+		g := e.C.Gate(id)
+		maxIn := 0.0
+		for _, f := range g.Fanin {
+			if dst[f] > maxIn {
+				maxIn = dst[f]
+			}
+		}
+		dst[id] = maxIn + td[id]
+	}
+}
+
+// Delays returns the per-gate delay t_di for the whole network. The returned
+// slice is engine scratch: read it before the next Engine call, copy to keep.
+func (e *Engine) Delays(a *design.Assignment) []float64 {
+	e.delaysInto(e.td, a)
+	return e.td
+}
+
+// Arrivals returns per-gate worst arrival times and per-gate delays, in
+// engine scratch (valid until the next Engine call).
+func (e *Engine) Arrivals(a *design.Assignment) (arr, td []float64) {
+	e.delaysInto(e.td, a)
+	e.arrivalsInto(e.arr, e.td)
+	return e.arr, e.td
+}
+
+// CriticalDelay returns the worst path delay from any input to any primary
+// output, allocation-free.
+func (e *Engine) CriticalDelay(a *design.Assignment) float64 {
+	arr, _ := e.Arrivals(a)
+	worst := 0.0
+	for _, id := range e.C.POs {
+		if arr[id] > worst {
+			worst = arr[id]
+		}
+	}
+	return worst
+}
+
+// CriticalPath returns the gate IDs of a worst path and its delay
+// (delegated to the model evaluator; this path is not performance-critical).
+func (e *Engine) CriticalPath(a *design.Assignment) ([]int, float64) {
+	e.met.FullDelaySweeps++
+	e.met.GateDelayCalls += int64(e.numLogic)
+	return e.dm.CriticalPath(a)
+}
+
+// Slacks runs a full required-time analysis against the cycle budget T into
+// engine scratch (valid until the next Engine call).
+func (e *Engine) Slacks(a *design.Assignment, T float64) []float64 {
+	e.delaysInto(e.td, a)
+	e.arrivalsInto(e.arr, e.td)
+	return e.slacksFrom(e.td, e.arr, T)
+}
+
+// slacksFrom computes slacks from already-known delays and arrivals — pure
+// graph propagation, no device-model calls.
+func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
+	if e.req == nil {
+		e.req = make([]float64, e.C.N())
+		e.slack = make([]float64, e.C.N())
+	}
+	req := e.req
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	for _, id := range e.C.POs {
+		if T < req[id] {
+			req[id] = T
+		}
+	}
+	for i := len(e.order) - 1; i >= 0; i-- {
+		id := e.order[i]
+		g := e.C.Gate(id)
+		for _, f := range g.Fanout {
+			if r := req[f] - td[f]; r < req[id] {
+				req[id] = r
+			}
+		}
+	}
+	for i := range e.slack {
+		e.slack[i] = req[i] - arr[i]
+	}
+	return e.slack
+}
+
+// MeetsBudgets reports whether every logic gate's delay is within its
+// per-gate budget, allocation-free.
+func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
+	e.delaysInto(e.td, a)
+	for i := range e.C.Gates {
+		if !e.C.Gates[i].IsLogic() {
+			continue
+		}
+		if e.td[i] > budget[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gateEnergy evaluates one gate's energy through the coefficient cache.
+func (e *Engine) gateEnergy(id int, a *design.Assignment) power.Breakdown {
+	if !e.C.Gates[id].IsLogic() {
+		return power.Breakdown{}
+	}
+	e.met.GateEnergyCalls++
+	k := e.coeffs(a.VddAt(id), a.Vts[id])
+	return e.pm.GateEnergyCoeff(id, a, k.Ioff)
+}
+
+// GateEnergy returns the per-cycle energy breakdown of one gate.
+func (e *Engine) GateEnergy(id int, a *design.Assignment) power.Breakdown {
+	e.mustPower()
+	return e.gateEnergy(id, a)
+}
+
+// Energy returns the whole-network per-cycle energy breakdown (the paper's
+// cost function Σ E_si + E_di), evaluated through the coefficient cache.
+func (e *Engine) Energy(a *design.Assignment) power.Breakdown {
+	e.mustPower()
+	e.met.FullEnergySweeps++
+	var sum power.Breakdown
+	for i := range e.C.Gates {
+		sum.Add(e.gateEnergy(i, a))
+	}
+	return sum
+}
+
+// AvgPower converts a per-cycle energy into average power (W) at the
+// engine's clock frequency.
+func (e *Engine) AvgPower(b power.Breakdown) float64 {
+	e.mustPower()
+	return e.pm.Power(b)
+}
+
+func (e *Engine) mustPower() {
+	if e.pm == nil {
+		panic(fmt.Sprintf("eval: engine for %q was built with NewDelayOnly; energy is unavailable", e.C.Name))
+	}
+}

@@ -79,7 +79,7 @@ func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
 	}
 	for extra := cfg.Gates - cfg.Depth; extra > 0; extra-- {
 		// Triangular bias: earlier levels more likely.
-		l := min2(rng.Intn(cfg.Depth), rng.Intn(cfg.Depth))
+		l := min(rng.Intn(cfg.Depth), rng.Intn(cfg.Depth))
 		perLevel[l]++
 	}
 
@@ -148,13 +148,6 @@ func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
 		return nil, fmt.Errorf("netgen %s: %w", cfg.Name, err)
 	}
 	return c, nil
-}
-
-func min2(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func containsInt(s []int, v int) bool {

@@ -70,15 +70,24 @@ func New(c *circuit.Circuit, tech *device.Tech, act *activity.Profile, wire *wir
 // GateEnergy returns the per-cycle energy breakdown of one logic gate under
 // the assignment. Input gates consume nothing.
 func (e *Evaluator) GateEnergy(id int, a *design.Assignment) Breakdown {
+	if !e.C.Gate(id).IsLogic() {
+		return Breakdown{}
+	}
+	return e.GateEnergyCoeff(id, a, e.Tech.IoffUnit(a.Vts[id]))
+}
+
+// GateEnergyCoeff is GateEnergy with the gate's leakage coefficient
+// I_off(V_TS) supplied by the caller — the entry point for evaluation engines
+// that cache the per-(V_dd, V_TS) device coefficients (see internal/eval).
+func (e *Evaluator) GateEnergyCoeff(id int, a *design.Assignment, ioff float64) Breakdown {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {
 		return Breakdown{}
 	}
 	w := a.W[id]
-	vts := a.Vts[id]
 	vdd := a.VddAt(id) // per-gate supply in multi-Vdd designs
 
-	static := vdd * w * e.Tech.IoffUnit(vts) / e.Fc
+	static := vdd * w * ioff / e.Fc
 
 	// The output swings to the gate's own rail, so the charge comes from it.
 	load := e.OutputLoad(id, a)

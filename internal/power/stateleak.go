@@ -57,20 +57,13 @@ func (e *Evaluator) StateAwareStatic(id int, a *design.Assignment) float64 {
 		nmosOff = unit
 		pmosOff = e.Tech.Beta * unit
 	default: // Xor, Xnor: two-high stacks both sides, 2·(f_ii−1) branches
-		br := float64(2 * maxIntp(fii-1, 1))
+		br := float64(2 * max(fii-1, 1))
 		nmosOff = br * unit / stackSuppress
 		pmosOff = br * e.Tech.Beta * unit / stackSuppress
 	}
 	// Output high → pull-down leaks; output low → pull-up leaks.
 	ioff := p*nmosOff + (1-p)*pmosOff
 	return vdd * w * ioff / e.Fc
-}
-
-func maxIntp(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // TotalStateAware returns the network energy with the state-dependent static

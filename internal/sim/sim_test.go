@@ -9,6 +9,7 @@ import (
 	"cmosopt/internal/delay"
 	"cmosopt/internal/design"
 	"cmosopt/internal/device"
+	"cmosopt/internal/eval"
 	"cmosopt/internal/netgen"
 	"cmosopt/internal/wiring"
 )
@@ -16,27 +17,21 @@ import (
 func setup(t *testing.T, c *circuit.Circuit) (*Simulator, *delay.Evaluator, *design.Assignment) {
 	t.Helper()
 	tech := device.Default350()
-	wire, err := wiring.New(wiring.Default350(), maxInt(c.NumLogic(), 1))
+	wire, err := wiring.New(wiring.Default350(), max(c.NumLogic(), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	de, err := delay.New(c, &tech, wire)
+	eng, err := eval.NewDelayOnly(c, &tech, wire)
 	if err != nil {
 		t.Fatal(err)
 	}
+	de := eng.DelayModel()
 	a := design.Uniform(c.N(), 1.0, 0.2, 2)
 	s, err := New(c, de, a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s, de, a
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func chain(t *testing.T, n int) *circuit.Circuit {
@@ -58,10 +53,11 @@ func TestNewRejects(t *testing.T) {
 	seq, _ := circuit.ParseBenchString("seq", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
 	tech := device.Default350()
 	wire, _ := wiring.New(wiring.Default350(), 1)
-	de, err := delay.New(chain(t, 1), &tech, wire)
+	eng, err := eval.NewDelayOnly(chain(t, 1), &tech, wire)
 	if err != nil {
 		t.Fatal(err)
 	}
+	de := eng.DelayModel()
 	if _, err := New(seq, de, design.Uniform(seq.N(), 1, 0.2, 2)); err == nil {
 		t.Error("sequential circuit accepted")
 	}
