@@ -12,6 +12,7 @@ package cmosopt
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cmosopt/internal/activity"
@@ -607,5 +608,75 @@ func BenchmarkEngineIncremental(b *testing.B) {
 	m := p.Eval.Metrics()
 	if m.IncrementalEdits > 0 {
 		b.ReportMetric(float64(m.DirtyGates)/float64(m.IncrementalEdits), "dirty-gates/edit")
+	}
+}
+
+// workerSet is the fan-out axis of the parallel-layer benchmarks: serial,
+// then the host's CPU count (skipped when that is also 1). Outputs are
+// byte-identical across the axis — only wall-clock time may change.
+func workerSet() []int {
+	ws := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// BenchmarkLandscape measures the SampleLandscape grid fan-out: every cell is
+// an independent width solve priced on a worker engine clone.
+func BenchmarkLandscape(b *testing.B) {
+	for _, w := range workerSet() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := problemFor(b, "s298", 0.5)
+			opts := core.DefaultOptions()
+			opts.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SampleLandscape(8, 8, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkYield measures the Monte-Carlo die fan-out: per-sample RNG
+// substreams let dies land on any worker without changing the drawn bits.
+func BenchmarkYield(b *testing.B) {
+	p := problemFor(b, "s298", 0.5)
+	res, err := p.OptimizeJoint(core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerSet() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.YieldStudy(res.Assignment, 0.1, 500, 42, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRefine measures Procedure 2 with the Refine polish: the 9-point
+// grid scan fans out and the middle loop evaluates speculative Vts
+// candidates when at least three workers are available.
+func BenchmarkRefine(b *testing.B) {
+	for _, w := range workerSet() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = w
+			opts.Refine = true
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := problemFor(b, "s298", 0.5)
+				b.StartTimer()
+				if _, err := p.OptimizeJoint(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -34,10 +34,14 @@ func main() {
 	points := flag.Int("points", 8, "number of sweep points (log-spaced)")
 	act := flag.Float64("activity", 0.5, "input transition density per cycle")
 	format := flag.String("format", "text", "output format: text, csv")
+	workers := flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial; same output either way)")
 	flag.Parse()
 
 	if *from <= 0 || *to <= *from || *points < 2 {
 		log.Fatalf("bad sweep range [%v, %v] x %d", *from, *to, *points)
+	}
+	if *workers < 0 {
+		log.Fatalf("bad worker count %d", *workers)
 	}
 	ct, err := netgen.Profile(*name)
 	if err != nil {
@@ -55,15 +59,19 @@ func main() {
 		InputDensity: *act,
 	}
 
+	// Log-spaced by exponent rather than by running product: fcs[i] =
+	// from·ratio^i has no accumulated rounding drift, so the last point lands
+	// exactly on -to.
 	fcs := make([]float64, *points)
-	ratio := math.Pow(*to / *from, 1/float64(*points-1))
-	fc := *from
+	ratio := *to / *from
 	for i := range fcs {
-		fcs[i] = fc
-		fc *= ratio
+		fcs[i] = *from * math.Pow(ratio, float64(i)/float64(*points-1))
 	}
+	fcs[*points-1] = *to
 
-	pts, best, err := core.EDPStudy(spec, fcs, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	pts, best, err := core.EDPStudy(spec, fcs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"cmosopt/internal/parallel"
 )
 
 // The paper's introduction contrasts its fixed-performance formulation with
@@ -22,26 +24,49 @@ type EDPPoint struct {
 
 // EDPStudy sweeps clock targets and returns all feasible samples plus the
 // index of the EDP-minimal one. Infeasible targets are skipped; it fails
-// only when no target is feasible.
+// only when no target is feasible. Targets are independent whole-optimizer
+// runs and fan out over opts.Workers workers; results are identical at any
+// worker count.
 func EDPStudy(spec Spec, fcs []float64, opts Options) ([]EDPPoint, int, error) {
 	if len(fcs) == 0 {
 		return nil, -1, fmt.Errorf("core: EDP study needs at least one clock target")
 	}
+	type slot struct {
+		res *Result
+		err error
+	}
+	slots := make([]slot, len(fcs))
+	w := workersFor(opts.Workers, len(fcs))
+	inner := opts
+	if w > 1 {
+		inner.Workers = 1 // the sweep level owns the parallelism
+		warmCircuit(spec.Circuit)
+	}
+	parallel.For(w, len(fcs), func(_, i int) {
+		s := spec
+		s.Fc = fcs[i]
+		p, err := NewProblem(s)
+		if err != nil {
+			slots[i].err = fmt.Errorf("core: EDP study at fc=%v: %w", fcs[i], err)
+			return
+		}
+		res, err := p.OptimizeJoint(inner)
+		if err != nil {
+			return // this clock target is infeasible; skip the sample
+		}
+		slots[i].res = res
+	})
 	var out []EDPPoint
 	bestIdx := -1
 	bestEDP := math.Inf(1)
-	for _, fc := range fcs {
-		s := spec
-		s.Fc = fc
-		p, err := NewProblem(s)
-		if err != nil {
-			return nil, -1, fmt.Errorf("core: EDP study at fc=%v: %w", fc, err)
+	for i, s := range slots {
+		if s.err != nil {
+			return nil, -1, s.err
 		}
-		res, err := p.OptimizeJoint(opts)
-		if err != nil {
-			continue // this clock target is infeasible; skip the sample
+		if s.res == nil {
+			continue
 		}
-		pt := EDPPoint{Fc: fc, Result: res, EDP: res.Energy.Total() * res.CriticalDelay}
+		pt := EDPPoint{Fc: fcs[i], Result: s.res, EDP: s.res.Energy.Total() * s.res.CriticalDelay}
 		if pt.EDP < bestEDP {
 			bestEDP = pt.EDP
 			bestIdx = len(out)

@@ -21,7 +21,9 @@ type Landscape struct {
 }
 
 // SampleLandscape evaluates an nVdd × nVts grid. Each sample is a full
-// width solve, so keep the grid modest (8×8 ≈ one Procedure 2 run).
+// width solve, so keep the grid modest (8×8 ≈ one Procedure 2 run). Cells
+// are independent and fan out over opts.Workers engine clones; the grid is
+// byte-identical at any worker count.
 func (p *Problem) SampleLandscape(nVdd, nVts int, opts Options) (*Landscape, error) {
 	opts.fill()
 	if err := opts.validate(); err != nil {
@@ -35,16 +37,17 @@ func (p *Problem) SampleLandscape(nVdd, nVts int, opts Options) (*Landscape, err
 		Vts: optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}.Linspace(nVts),
 	}
 	ls.E = make([][]float64, nVdd)
-	for i, vdd := range ls.Vdd {
+	for i := range ls.E {
 		ls.E[i] = make([]float64, nVts)
-		for j, vts := range ls.Vts {
-			e, _, ok := p.evalPoint(vdd, vts, &opts)
-			if !ok {
-				e = math.Inf(1)
-			}
-			ls.E[i][j] = e
-		}
 	}
+	p.mapEval(opts.Workers, nVdd*nVts, func(c *evalCtx, k int) {
+		i, j := k/nVts, k%nVts
+		e, _, ok := c.evalPoint(ls.Vdd[i], ls.Vts[j], &opts)
+		if !ok {
+			e = math.Inf(1)
+		}
+		ls.E[i][j] = e
+	})
 	return ls, nil
 }
 

@@ -96,7 +96,7 @@ func TestYieldStudyBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Zero variation: every die identical, full yield.
-	y0, err := p.YieldStudy(res.Assignment, 0, 50, 1)
+	y0, err := p.YieldStudy(res.Assignment, 0, 50, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +107,11 @@ func TestYieldStudyBasics(t *testing.T) {
 		t.Errorf("zero-sigma mean energy %v != %v", y0.MeanEnergy, res.Energy.Total())
 	}
 	// Growing variation cannot raise the yield.
-	y10, err := p.YieldStudy(res.Assignment, 0.10, 300, 1)
+	y10, err := p.YieldStudy(res.Assignment, 0.10, 300, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	y25, err := p.YieldStudy(res.Assignment, 0.25, 300, 1)
+	y25, err := p.YieldStudy(res.Assignment, 0.25, 300, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +140,11 @@ func TestCornerOptimizedDesignYieldsBetter(t *testing.T) {
 		t.Fatal(err)
 	}
 	const sigma = 0.07
-	yNom, err := p.YieldStudy(nominal.Assignment, sigma, 400, 7)
+	yNom, err := p.YieldStudy(nominal.Assignment, sigma, 400, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	yGuard, err := p.YieldStudy(guarded.Assignment, sigma, 400, 7)
+	yGuard, err := p.YieldStudy(guarded.Assignment, sigma, 400, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,10 @@ func TestYieldStudyValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.YieldStudy(res.Assignment, -0.1, 10, 1); err == nil {
+	if _, err := p.YieldStudy(res.Assignment, -0.1, 10, 1, 1); err == nil {
 		t.Error("negative sigma accepted")
 	}
-	if _, err := p.YieldStudy(res.Assignment, 0.1, 0, 1); err == nil {
+	if _, err := p.YieldStudy(res.Assignment, 0.1, 0, 1, 1); err == nil {
 		t.Error("zero samples accepted")
 	}
 }

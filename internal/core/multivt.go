@@ -22,6 +22,11 @@ import (
 // group thresholds with golden-section line searches, re-solving all widths
 // at every trial point. V_dd stays at the single-Vt optimum's value, then
 // gets one final golden-section polish.
+//
+// The 11-point grid pre-scan of each coordinate-descent line search fans its
+// candidates out over opts.Workers engine clones; the sequential
+// golden-section polish stays on the main engine. Results are identical at
+// any worker count.
 func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	opts.fill()
 	if err := opts.validate(); err != nil {
@@ -42,10 +47,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	// Partition logic gates by realized slack fraction at the single-Vt
 	// optimum: group 0 = least slack (most critical). The Delays result is
 	// engine scratch, consumed immediately below.
-	ids, err := p.C.LogicIDs()
-	if err != nil {
-		return nil, err
-	}
+	ids := p.logicIDs
 	td := p.Eval.Delays(base.Assignment)
 	slackFrac := make([]float64, p.C.N())
 	for _, id := range ids {
@@ -71,18 +73,21 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	}
 
 	n := p.C.N()
-	evalGroups := func(gv []float64) (float64, *design.Assignment, bool) {
+	// evalGroups prices one vector of group thresholds on ctx's engine; the
+	// parallel grid scans hand worker contexts fresh gv slices, so the only
+	// shared captures (vdd, group, ids) are read-only during a scan.
+	evalGroups := func(c *evalCtx, gv []float64) (float64, *design.Assignment, bool) {
 		a := design.Uniform(n, vdd, baseVt, p.Tech.WMin)
 		for _, id := range ids {
 			a.Vts[id] = gv[group[id]]
 		}
-		if !p.solveWidths(a, opts.M, opts.WidthPasses) {
+		if !c.solveWidths(a, opts.M, opts.WidthPasses) {
 			return math.Inf(1), a, false
 		}
-		return p.Eval.Energy(a).Total(), a, true
+		return c.eng.Energy(a).Total(), a, true
 	}
 
-	bestE, bestA, ok := evalGroups(groupVts)
+	bestE, bestA, ok := evalGroups(p.sctx, groupVts)
 	if !ok {
 		// The single-Vt solution is feasible by construction, so this can
 		// only be numeric noise; fall back to it.
@@ -96,7 +101,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 			trial := append([]float64(nil), groupVts...)
 			obj := func(vt float64) float64 {
 				trial[g] = vt
-				e, _, ok := evalGroups(trial)
+				e, _, ok := evalGroups(p.sctx, trial)
 				if !ok {
 					return math.Inf(1)
 				}
@@ -104,8 +109,26 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 			}
 			// Grid pre-scan first: most of the threshold range is an
 			// infeasible +Inf plateau, which defeats golden-section
-			// bracketing on its own.
-			gx, ge := optimize.GridMin(obj, vtR, 11)
+			// bracketing on its own. The candidates are independent, so they
+			// fan out over worker clones; the argmin reduction walks them in
+			// index order, matching GridMin's serial first-strict-minimum.
+			cands := vtR.Linspace(11)
+			ces := make([]float64, len(cands))
+			p.mapEval(opts.Workers, len(cands), func(c *evalCtx, k int) {
+				gv := append([]float64(nil), groupVts...)
+				gv[g] = cands[k]
+				e, _, ok := evalGroups(c, gv)
+				if !ok {
+					e = math.Inf(1)
+				}
+				ces[k] = e
+			})
+			gx, ge := vtR.Lo, math.Inf(1)
+			for k, e := range ces {
+				if e < ge {
+					gx, ge = cands[k], e
+				}
+			}
 			if math.IsInf(ge, 1) {
 				continue
 			}
@@ -116,7 +139,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 				v = gx
 			}
 			trial[g] = v
-			if e, a, ok := evalGroups(trial); ok && e < bestE {
+			if e, a, ok := evalGroups(p.sctx, trial); ok && e < bestE {
 				bestE, bestA = e, a
 				groupVts[g] = v
 				improved = true
@@ -132,7 +155,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	optimize.GoldenSection(func(v float64) float64 {
 		old := vdd
 		vdd = v
-		e, a, ok := evalGroups(groupVts)
+		e, a, ok := evalGroups(p.sctx, groupVts)
 		if ok && e < bestE {
 			bestE, bestA = e, a
 		} else if !ok {

@@ -69,7 +69,8 @@ type Problem struct {
 	Fc      float64
 	Skew    float64
 
-	wtd []float64 // solveWidths per-pass delay scratch
+	logicIDs []int    // logic gate IDs in topological order (read-only)
+	sctx     *evalCtx // the problem's own serial evaluation context
 }
 
 // NewProblem elaborates a Spec: cuts DFFs, propagates activities, builds the
@@ -167,6 +168,10 @@ func NewProblem(s Spec) (*Problem, error) {
 	if p.Eval, err = eval.New(c, &p.Tech, act, wire, s.Fc); err != nil {
 		return nil, err
 	}
+	if p.logicIDs, err = c.LogicIDs(); err != nil {
+		return nil, err
+	}
+	p.sctx = &evalCtx{p: p, eng: p.Eval}
 	p.repairUnreachableBudgets()
 	return p, nil
 }

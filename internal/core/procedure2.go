@@ -6,6 +6,7 @@ import (
 
 	"cmosopt/internal/design"
 	"cmosopt/internal/optimize"
+	"cmosopt/internal/parallel"
 )
 
 // Options parameterizes the heuristic optimizers.
@@ -34,6 +35,12 @@ type Options struct {
 	// VtPowerFactor scales thresholds during energy evaluation (leaky
 	// process corner, ≤ 1 in variation studies). Zero means 1 (nominal).
 	VtPowerFactor float64
+	// Workers caps the goroutines used by the parallel drivers (landscape
+	// grids, Refine's scans, speculative candidate evaluation, the study
+	// sweeps). 0 means one worker per CPU (GOMAXPROCS); 1 forces serial
+	// execution. Results are byte-identical for any value — only wall-clock
+	// time changes.
+	Workers int
 }
 
 // DefaultOptions returns the settings used for the paper's result tables.
@@ -69,13 +76,23 @@ func (o *Options) validate() error {
 	if o.VtPowerFactor <= 0 || o.VtPowerFactor > 1 {
 		return fmt.Errorf("core: VtPowerFactor %v outside (0,1]", o.VtPowerFactor)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers = %d negative (0 means GOMAXPROCS)", o.Workers)
+	}
 	return nil
 }
 
 // evalPoint solves widths at one (Vdd, Vts) candidate and returns the
 // objective energy (corner-adjusted when variation factors are set), the
 // solved nominal assignment, and feasibility. Infeasible points get +Inf.
+// It runs on an evalCtx so parallel drivers can price independent candidates
+// on worker engine clones; the Problem method is the serial entry point.
 func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assignment, bool) {
+	return p.sctx.evalPoint(vdd, vts, o)
+}
+
+func (c *evalCtx) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assignment, bool) {
+	p := c.p
 	n := p.C.N()
 	// Timing view: thresholds at the slow corner share the width slice with
 	// the nominal assignment, so the width solve writes through.
@@ -87,7 +104,7 @@ func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 			timingView.Vts[i] = vts * o.VtTimingFactor
 		}
 	}
-	ok := p.solveWidths(timingView, o.M, o.WidthPasses)
+	ok := c.solveWidths(timingView, o.M, o.WidthPasses)
 	if !ok {
 		return math.Inf(1), nominal, false
 	}
@@ -98,7 +115,7 @@ func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 			powerView.Vts[i] = vts * o.VtPowerFactor
 		}
 	}
-	return p.Eval.Energy(powerView).Total(), nominal, true
+	return c.eng.Energy(powerView).Total(), nominal, true
 }
 
 // OptimizeJoint runs the paper's Procedure 2: nested directional bisection of
@@ -132,28 +149,61 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 	}
 
 	// evalVts runs the middle (threshold) loop at one supply voltage and
-	// returns the best objective found there.
+	// returns the best objective found there. The bisection chain is
+	// sequential — each candidate's result steers the next range — but both
+	// possible next ranges are known before the result is: with ≥ 3 workers
+	// the loop prices the current candidate and the two reachable next
+	// candidates in one speculative batch on engine clones, resolving two
+	// bisection levels per batch. Only on-path candidates feed the incumbent,
+	// the steering state and the effort meter, so the walk — and the reported
+	// evaluation count — is byte-identical to the serial one at any worker
+	// count; the discarded branch's work is the price of the latency win.
+	speculate := parallel.Workers(opts.Workers) >= 3
 	evalVts := func(vdd float64) float64 {
 		vtsR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
 		bestHere := math.Inf(1)
 		prev := math.Inf(1)
-		for j := 0; j < opts.M; j++ {
-			vts := vtsR.Mid()
-			e, a, ok := p.evalPoint(vdd, vts, &opts)
-			consider(e, a, vdd, vts, ok)
-			if e < bestHere {
-				bestHere = e
+		// step applies one bisection level exactly as the paper's serial walk
+		// does and reports whether the range moved higher.
+		step := func(r pointRes, vts float64) bool {
+			consider(r.e, r.a, vdd, vts, r.ok)
+			if r.e < bestHere {
+				bestHere = r.e
 			}
 			// Paper: feasible and energy decreased → raise the threshold
 			// range (chase lower leakage); otherwise lower it (buy speed).
-			if ok && e <= prev {
+			higher := r.ok && r.e <= prev
+			if higher {
 				vtsR = vtsR.Higher()
 			} else {
 				vtsR = vtsR.Lower()
 			}
-			if e < prev {
-				prev = e
+			if r.e < prev {
+				prev = r.e
 			}
+			return higher
+		}
+		for j := 0; j < opts.M; {
+			vts := vtsR.Mid()
+			if !speculate || j+1 >= opts.M {
+				e, a, ok := p.evalPoint(vdd, vts, &opts)
+				step(pointRes{e, a, ok}, vts)
+				j++
+				continue
+			}
+			hi, lo := vtsR.Higher().Mid(), vtsR.Lower().Mid()
+			rs, mets := p.specPoints([][2]float64{{vdd, vts}, {vdd, hi}, {vdd, lo}}, &opts)
+			p.Eval.Metrics().Add(mets[0])
+			next, nextVts, nextMet := rs[2], lo, mets[2]
+			if step(rs[0], vts) {
+				next, nextVts, nextMet = rs[1], hi, mets[1]
+			}
+			j++
+			// The chosen branch's candidate is already priced: consume it as
+			// the next level without waiting.
+			p.Eval.Metrics().Add(nextMet)
+			step(next, nextVts)
+			j++
 		}
 		return bestHere
 	}
@@ -192,6 +242,13 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 // golden-section bracketing — at low V_dd most of the V_ts range is
 // infeasible and evaluates to +Inf), then golden-section over V_ts at the
 // best few supplies near the incumbent.
+//
+// The supply candidates are sequentially dependent (each is relative to the
+// incumbent the previous ones left behind) and golden-section is a dependent
+// chain, but each supply's 9-point threshold pre-scan is embarrassingly
+// parallel: it fans out over worker engine clones, with the incumbent
+// updates and the argmin applied afterwards in grid order, exactly as the
+// serial scan would have.
 func (p *Problem) refine(bestE *float64, bestA **design.Assignment, bestVdd, bestVts *float64, opts *Options) {
 	track := func(vdd, vts float64) float64 {
 		e, a, ok := p.evalPoint(vdd, vts, opts)
@@ -206,7 +263,21 @@ func (p *Problem) refine(bestE *float64, bestA **design.Assignment, bestVdd, bes
 		vdd := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}.Clamp(*bestVdd * f)
 		// Robust threshold scan, then a short golden polish around it.
 		vtR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
-		gx, ge := optimize.GridMin(func(v float64) float64 { return track(vdd, v) }, vtR, 9)
+		cands := vtR.Linspace(9)
+		pts := make([][2]float64, len(cands))
+		for i, v := range cands {
+			pts[i] = [2]float64{vdd, v}
+		}
+		rs := p.scanPoints(opts.Workers, pts, opts)
+		gx, ge := vtR.Lo, math.Inf(1)
+		for i, r := range rs {
+			if r.ok && r.e < *bestE {
+				*bestE, *bestA, *bestVdd, *bestVts = r.e, r.a, vdd, cands[i]
+			}
+			if r.e < ge {
+				gx, ge = cands[i], r.e
+			}
+		}
 		if math.IsInf(ge, 1) {
 			continue
 		}

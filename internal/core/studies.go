@@ -3,7 +3,29 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/parallel"
 )
+
+// warmCircuit materializes a shared combinational circuit's lazily cached
+// analyses (topological order, levels, depth) before workers elaborate
+// Problems against it concurrently; the caches are read-only afterwards.
+// Errors are ignored here — each worker's NewProblem reports them
+// deterministically. Sequential circuits need no warming: every NewProblem
+// cuts its own private combinational copy.
+func warmCircuit(c *circuit.Circuit) {
+	if c == nil || c.IsSequential() {
+		return
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return
+	}
+	if _, err := c.Levels(); err != nil {
+		return
+	}
+	_, _ = c.Depth()
+}
 
 // VariationPoint is one sample of the paper's Figure 2(a): power savings as a
 // function of the tolerated threshold-voltage process variation.
@@ -21,21 +43,31 @@ type VariationPoint struct {
 // corner V_ts·(1+tol) so timing is guaranteed across variation, energy at the
 // leaky corner V_ts·(1−tol) so the reported power is worst case. Savings are
 // measured against the given (nominal, fixed-Vt) baseline, as in the paper.
+// Tolerances are independent whole-optimizer runs: they fan out over
+// opts.Workers problem forks (each with its own engine clone), and each
+// point's result is identical at any worker count.
 func (p *Problem) VariationStudy(tols []float64, opts Options, baseline *Result) ([]VariationPoint, error) {
 	if baseline == nil || baseline.Energy.Total() <= 0 {
 		return nil, fmt.Errorf("core: variation study needs a valid baseline result")
 	}
-	out := make([]VariationPoint, 0, len(tols))
 	for _, tol := range tols {
 		if tol < 0 || tol >= 1 {
 			return nil, fmt.Errorf("core: Vt tolerance %v outside [0,1)", tol)
 		}
-		o := opts
+	}
+	out := make([]VariationPoint, len(tols))
+	w := workersFor(opts.Workers, len(tols))
+	inner := opts
+	if w > 1 {
+		inner.Workers = 1 // the sweep level owns the parallelism
+	}
+	run := func(q *Problem, i int) {
+		o := inner
 		o.fill()
-		o.VtTimingFactor = 1 + tol
-		o.VtPowerFactor = 1 - tol
-		pt := VariationPoint{Tol: tol}
-		res, err := p.OptimizeJoint(o)
+		o.VtTimingFactor = 1 + tols[i]
+		o.VtPowerFactor = 1 - tols[i]
+		pt := VariationPoint{Tol: tols[i]}
+		res, err := q.OptimizeJoint(o)
 		if err == nil {
 			pt.WorstEnergy = res.Objective
 			pt.Savings = baseline.Energy.Total() / res.Objective
@@ -45,7 +77,18 @@ func (p *Problem) VariationStudy(tols []float64, opts Options, baseline *Result)
 		} else {
 			pt.WorstEnergy = math.Inf(1)
 		}
-		out = append(out, pt)
+		out[i] = pt
+	}
+	if w <= 1 {
+		for i := range tols {
+			run(p, i)
+		}
+		return out, nil
+	}
+	forks := parallel.Pool(w, func(int) *Problem { return p.fork() })
+	parallel.For(w, len(tols), func(wk, i int) { run(forks[wk], i) })
+	for _, f := range forks {
+		p.absorb(f.Eval)
 	}
 	return out, nil
 }
@@ -67,7 +110,9 @@ type SlackPoint struct {
 // budget b·T_c), and its energy is compared against the *fixed* Table 1
 // baseline computed once at the spec's own skew — the same reference the
 // paper measures Figure 2 savings against. A fresh Problem is elaborated per
-// point because Procedure 1's budgets depend on b.
+// point because Procedure 1's budgets depend on b; the points are
+// independent and fan out over opts.Workers workers (the reference problem
+// built first also warms the shared circuit's caches).
 func SlackStudy(spec Spec, skews []float64, opts Options) ([]SlackPoint, error) {
 	pRef, err := NewProblem(spec)
 	if err != nil {
@@ -77,16 +122,23 @@ func SlackStudy(spec Spec, skews []float64, opts Options) ([]SlackPoint, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: slack study baseline: %w", err)
 	}
-	out := make([]SlackPoint, 0, len(skews))
-	for _, b := range skews {
+	out := make([]SlackPoint, len(skews))
+	errs := make([]error, len(skews))
+	w := workersFor(opts.Workers, len(skews))
+	inner := opts
+	if w > 1 {
+		inner.Workers = 1
+	}
+	parallel.For(w, len(skews), func(_, i int) {
 		s := spec
-		s.Skew = b
-		p, err := NewProblem(s)
+		s.Skew = skews[i]
+		q, err := NewProblem(s)
 		if err != nil {
-			return nil, fmt.Errorf("core: slack study at b=%v: %w", b, err)
+			errs[i] = fmt.Errorf("core: slack study at b=%v: %w", skews[i], err)
+			return
 		}
-		pt := SlackPoint{Skew: b, BaselineEnergy: base.Energy.Total()}
-		joint, jerr := p.OptimizeJoint(opts)
+		pt := SlackPoint{Skew: skews[i], BaselineEnergy: base.Energy.Total()}
+		joint, jerr := q.OptimizeJoint(inner)
 		if jerr == nil {
 			pt.JointEnergy = joint.Energy.Total()
 			pt.Savings = pt.BaselineEnergy / pt.JointEnergy
@@ -96,7 +148,12 @@ func SlackStudy(spec Spec, skews []float64, opts Options) ([]SlackPoint, error) 
 		} else {
 			pt.JointEnergy = math.Inf(1)
 		}
-		out = append(out, pt)
+		out[i] = pt
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
 	}
 	return out, nil
 }

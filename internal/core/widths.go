@@ -19,17 +19,23 @@ import (
 //
 // It returns true only if, after the final sweep, a full delay recomputation
 // meets every budget. Widths are left in a (best effort) either way.
+//
+// solveWidths runs on an evalCtx so that parallel drivers can solve
+// independent candidates on worker engine clones; the Problem method below
+// is the serial entry point over the main engine.
 func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
-	ids, err := p.C.LogicIDs()
-	if err != nil {
-		return false
-	}
+	return p.sctx.solveWidths(a, mSteps, passes)
+}
+
+func (c *evalCtx) solveWidths(a *design.Assignment, mSteps, passes int) bool {
+	p := c.p
+	ids := p.logicIDs
 	budget := p.Budgets.TMax
 	wRange := optimize.Range{Lo: p.Tech.WMin, Hi: p.Tech.WMax}
-	if p.wtd == nil {
-		p.wtd = make([]float64, p.C.N())
+	if c.wtd == nil {
+		c.wtd = make([]float64, p.C.N())
 	}
-	td := p.wtd
+	td := c.wtd
 
 	// The per-gate search targets a slightly tightened budget so the small
 	// delay drift caused by fanouts widening in later sweeps (a gate's load)
@@ -52,7 +58,7 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 			}
 			target := budget[id] * searchMargin
 			pred := func(w float64) bool {
-				return p.Eval.ProbeWidth(id, a, w, maxIn) <= target
+				return c.eng.ProbeWidth(id, a, w, maxIn) <= target
 			}
 			w, ok := optimize.MinSatisfying(wRange, mSteps, pred)
 			if !ok {
@@ -62,9 +68,9 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 				// 10 % of the best achievable delay instead of paying the
 				// full WMax energy; the cycle-time check below still
 				// guards the real constraint.
-				dBest := p.Eval.ProbeWidth(id, a, wRange.Hi, maxIn)
+				dBest := c.eng.ProbeWidth(id, a, wRange.Hi, maxIn)
 				w, _ = optimize.MinSatisfying(wRange, mSteps, func(wc float64) bool {
-					return p.Eval.ProbeWidth(id, a, wc, maxIn) <= dBest*1.1
+					return c.eng.ProbeWidth(id, a, wc, maxIn) <= dBest*1.1
 				})
 				// The change detection below measures against the width the
 				// gate ends the search with; on this path that was WMax.
@@ -74,7 +80,7 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 				changed = true
 			}
 			a.W[id] = w
-			td[id] = p.Eval.GateDelayWith(id, a, maxIn)
+			td[id] = c.eng.GateDelayWith(id, a, maxIn)
 		}
 		if !changed {
 			break
@@ -86,7 +92,7 @@ func (p *Problem) solveWidths(a *design.Assignment, mSteps, passes int) bool {
 	// of per-gate budgets perturbs path sums by at most the same ε. The
 	// strict cycle-time constraint is re-checked on the final result.
 	const budgetTol = 1.03
-	final := p.Eval.Delays(a)
+	final := c.eng.Delays(a)
 	for i := range p.C.Gates {
 		if !p.C.Gates[i].IsLogic() {
 			continue

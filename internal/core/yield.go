@@ -7,6 +7,8 @@ import (
 	"sort"
 
 	"cmosopt/internal/design"
+	"cmosopt/internal/eval"
+	"cmosopt/internal/parallel"
 )
 
 // YieldResult summarizes a Monte-Carlo process-variation run: the paper's
@@ -22,25 +24,39 @@ type YieldResult struct {
 	WorstDelay  float64 // worst sampled critical delay (s)
 }
 
+// substream returns die i's private RNG, derived from (seed, i) through a
+// SplitMix64 finalizer so neighbouring indices land on decorrelated streams.
+// Per-die substreams make every sample's draws independent of iteration
+// order — the property that lets dies run on any worker in any order and
+// still produce the exact bits a serial loop would.
+func substream(seed int64, i int) *rand.Rand {
+	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
 // YieldStudy samples `samples` dies: each logic gate's threshold is drawn
 // from N(V_ts·1, (sigmaFrac·V_ts)²), clamped positive, and the die's timing
 // and energy are evaluated with the fixed widths and supply of the given
-// design. Deterministic for a given seed.
-func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples int, seed int64) (*YieldResult, error) {
+// design. Each die draws from its own (seed, index) RNG substream and dies
+// fan out over `workers` engine clones (0 = GOMAXPROCS, 1 = serial); the
+// result depends on the seed only, never on the worker count.
+func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples int, seed int64, workers int) (*YieldResult, error) {
 	if sigmaFrac < 0 || sigmaFrac >= 1 {
 		return nil, fmt.Errorf("core: sigma fraction %v outside [0,1)", sigmaFrac)
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("core: need at least one sample, got %d", samples)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	budget := p.CycleBudget()
-	die := a.Clone()
-	energies := make([]float64, 0, samples)
-	pass := 0
-	worst := 0.0
-	var sum float64
-	for s := 0; s < samples; s++ {
+
+	// die holds one worker's scratch assignment; sample prices die s on it.
+	sample := func(eng *eval.Engine, die *design.Assignment, s int) (cd, e float64) {
+		rng := substream(seed, s)
 		for i := range a.Vts {
 			if !p.C.Gates[i].IsLogic() {
 				continue
@@ -51,17 +67,48 @@ func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples in
 			}
 			die.Vts[i] = vt
 		}
-		cd := p.Eval.CriticalDelay(die)
-		if cd <= budget {
+		return eng.CriticalDelay(die), eng.Energy(die).Total()
+	}
+
+	cds := make([]float64, samples)
+	es := make([]float64, samples)
+	w := workersFor(workers, samples)
+	if w <= 1 {
+		die := a.Clone()
+		for s := 0; s < samples; s++ {
+			cds[s], es[s] = sample(p.Eval, die, s)
+		}
+	} else {
+		type yieldWorker struct {
+			eng *eval.Engine
+			die *design.Assignment
+		}
+		ws := parallel.Pool(w, func(int) *yieldWorker {
+			return &yieldWorker{eng: p.Eval.Clone(), die: a.Clone()}
+		})
+		parallel.For(w, samples, func(wk, s int) {
+			cds[s], es[s] = sample(ws[wk].eng, ws[wk].die, s)
+		})
+		for _, yw := range ws {
+			p.absorb(yw.eng)
+		}
+	}
+
+	// Reduce in sample order: the float sums are then bit-for-bit the same
+	// at any worker count.
+	pass := 0
+	worst := 0.0
+	var sum float64
+	for s := 0; s < samples; s++ {
+		if cds[s] <= budget {
 			pass++
 		}
-		if cd > worst && !math.IsInf(cd, 1) {
-			worst = cd
+		if cds[s] > worst && !math.IsInf(cds[s], 1) {
+			worst = cds[s]
 		}
-		e := p.Eval.Energy(die).Total()
-		energies = append(energies, e)
-		sum += e
+		sum += es[s]
 	}
+	energies := append([]float64(nil), es...)
 	sort.Float64s(energies)
 	return &YieldResult{
 		Samples:     samples,

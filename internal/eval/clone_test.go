@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"cmosopt/internal/design"
+)
+
+func TestCloneMatchesParent(t *testing.T) {
+	c, eng, _, _ := buildCase(t, 11)
+	a := design.Uniform(c.N(), 1.6, 0.32, 4)
+	cl := eng.Clone()
+
+	if cl.CoeffCacheShared() != eng.CoeffCacheShared() {
+		t.Fatal("clone must share the parent's coefficient cache")
+	}
+	wantCd, wantE := eng.CriticalDelay(a), eng.Energy(a)
+	if got := cl.CriticalDelay(a); got != wantCd {
+		t.Errorf("clone critical delay %v, parent %v", got, wantCd)
+	}
+	if got := cl.Energy(a); got != wantE {
+		t.Errorf("clone energy %v, parent %v", got, wantE)
+	}
+	// Clone metrics start fresh and do not leak into the parent.
+	if cl.Metrics().GateDelayCalls == 0 {
+		t.Error("clone performed work but counted nothing")
+	}
+	before := eng.Metrics().GateDelayCalls
+	cl.CriticalDelay(a)
+	if eng.Metrics().GateDelayCalls != before {
+		t.Error("clone work billed to the parent's counters")
+	}
+}
+
+func TestClonesEvaluateConcurrently(t *testing.T) {
+	// N clones sweep different operating points of the same circuit at once;
+	// each must agree with a serial evaluation of its own point. Run under
+	// -race this also exercises the shared coefficient cache.
+	c, eng, _, _ := buildCase(t, 12)
+	const workers = 8
+	type out struct{ cd, e float64 }
+	got := make([]out, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cl := eng.Clone()
+			a := design.Uniform(c.N(), 1.2+0.1*float64(w%4), 0.25+0.02*float64(w), 4)
+			got[w] = out{cl.CriticalDelay(a), cl.Energy(a).Total()}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		a := design.Uniform(c.N(), 1.2+0.1*float64(w%4), 0.25+0.02*float64(w), 4)
+		if cd := eng.CriticalDelay(a); cd != got[w].cd {
+			t.Errorf("worker %d critical delay %v, serial %v", w, got[w].cd, cd)
+		}
+		if e := eng.Energy(a).Total(); e != got[w].e {
+			t.Errorf("worker %d energy %v, serial %v", w, got[w].e, e)
+		}
+	}
+}
+
+func TestCoeffCacheConcurrentAccess(t *testing.T) {
+	// Hammer one shared cache from many goroutines over overlapping keys,
+	// including enough distinct keys to trip shard eviction, and check every
+	// returned value against a direct model computation.
+	_, eng, dm, _ := buildCase(t, 13)
+	cc := eng.CoeffCacheShared()
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cl := eng.Clone()
+			n := maxCoeffEntries/workers + 50
+			for i := 0; i < n; i++ {
+				// Half the keys collide across workers, half are unique.
+				vdd := 1.0 + 0.001*float64(i%32)
+				vts := 0.2 + 1e-6*float64(i*(1+w%2))
+				got := cl.coeffs(vdd, vts)
+				if want := dm.CoeffsAt(vdd, vts); got != want {
+					errs <- "cached coefficients diverge from the model"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if got := cc.Len(); got > maxCoeffEntries {
+		t.Errorf("shared cache holds %d entries, cap %d", got, maxCoeffEntries)
+	}
+}

@@ -23,9 +23,12 @@
 //     full-circuit-evaluation units, the paper's O(M³) currency.
 //
 // An Engine is NOT safe for concurrent use: the scratch buffers and the
-// tracked state are engine-owned. Give each goroutine its own Engine (the
-// experiments suite runner builds one Problem — hence one Engine — per
-// worker).
+// tracked state are engine-owned. Give each goroutine its own Engine —
+// Clone (clone.go) makes that cheap by sharing every immutable structure
+// (circuit, technology, activity, wiring, model evaluators, topological
+// order) and the concurrency-safe device-coefficient cache, allocating only
+// fresh scratch. Parallel drivers build one clone per worker through
+// internal/parallel.
 package eval
 
 import (
@@ -41,9 +44,10 @@ import (
 	"cmosopt/internal/wiring"
 )
 
-// maxCoeffEntries bounds the coefficient cache. Optimizers visit a handful of
-// voltage pairs per run, but Monte-Carlo studies draw a fresh V_TS per gate
-// per die; when the map fills, it is cleared rather than grown without bound.
+// maxCoeffEntries bounds the shared coefficient cache. Optimizers visit a
+// handful of voltage pairs per run, but Monte-Carlo studies draw a fresh V_TS
+// per gate per die; a shard that fills is cleared rather than grown without
+// bound (see clone.go).
 const maxCoeffEntries = 4096
 
 type coeffKey struct{ vdd, vts float64 }
@@ -64,12 +68,13 @@ type Engine struct {
 	rank     []int // rank[id] = position of id in order
 	numLogic int
 
-	// Device-coefficient cache with a single-entry fast path: within one
-	// optimizer probe sequence nearly every call shares one voltage pair.
+	// Device-coefficient cache: a private single-entry fast path (within one
+	// optimizer probe sequence nearly every call shares one voltage pair)
+	// over a sharded concurrency-safe map shared with all clones.
 	lastKey   coeffKey
 	lastCoeff delay.Coeffs
 	haveLast  bool
-	cache     map[coeffKey]delay.Coeffs
+	cache     *CoeffCache
 
 	// Scratch for the full-evaluation APIs (valid until the next Engine call).
 	td, arr, req, slack []float64
@@ -125,7 +130,7 @@ func NewDelayOnly(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*E
 		order:    order,
 		rank:     rank,
 		numLogic: c.NumLogic(),
-		cache:    make(map[coeffKey]delay.Coeffs),
+		cache:    NewCoeffCache(),
 		td:       make([]float64, c.N()),
 		arr:      make([]float64, c.N()),
 	}, nil
@@ -154,14 +159,14 @@ func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
 		e.met.CoeffHits++
 		return e.lastCoeff
 	}
-	c, ok := e.cache[k]
+	c, ok := e.cache.lookup(k)
 	if !ok {
+		// CoeffsAt is a pure function of the pair, so a concurrent clone
+		// computing the same key stores an identical value — losing the
+		// store race never changes a result.
 		e.met.CoeffMisses++
 		c = e.dm.CoeffsAt(vdd, vts)
-		if len(e.cache) >= maxCoeffEntries {
-			clear(e.cache)
-		}
-		e.cache[k] = c
+		e.cache.store(k, c)
 	} else {
 		e.met.CoeffHits++
 	}

@@ -181,8 +181,8 @@ func TestCoeffCacheOverflowClears(t *testing.T) {
 		a.SetVts(vts)
 		eng.CriticalDelay(a)
 	}
-	if len(eng.cache) > maxCoeffEntries {
-		t.Fatalf("coefficient cache grew to %d entries, cap is %d", len(eng.cache), maxCoeffEntries)
+	if got := eng.cache.Len(); got > maxCoeffEntries {
+		t.Fatalf("coefficient cache grew to %d entries, cap is %d", got, maxCoeffEntries)
 	}
 }
 

@@ -9,12 +9,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 
 	"cmosopt/internal/circuit"
 	"cmosopt/internal/core"
 	"cmosopt/internal/device"
 	"cmosopt/internal/netgen"
+	"cmosopt/internal/parallel"
 	"cmosopt/internal/report"
 	"cmosopt/internal/wiring"
 )
@@ -84,41 +84,31 @@ type Entry struct {
 }
 
 // RunSuite produces the data behind Tables 1 and 2 in one pass (the baseline
-// is shared between them). Circuits run concurrently, one worker per CPU.
+// is shared between them). Circuits fan out over cfg.Opts.Workers workers
+// (0 = one per CPU); entries keep the cfg.Circuits order and the
+// lowest-index failure is the one reported, so the output is independent of
+// the worker count. Each circuit is loaded privately by its worker, so the
+// per-run optimizers stay serial within a circuit (inner Workers pinned to 1
+// when the suite level is parallel).
 func RunSuite(cfg Config) ([]Entry, error) {
-	type slot struct {
-		entries []Entry
-		err     error
+	slots := make([][]Entry, len(cfg.Circuits))
+	w := parallel.Workers(cfg.Opts.Workers)
+	if w > 1 {
+		cfg.Opts.Workers = 1 // the suite level owns the parallelism
 	}
-	slots := make([]slot, len(cfg.Circuits))
-	sem := make(chan struct{}, maxParallel())
-	done := make(chan int)
-	for i := range cfg.Circuits {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			slots[i].entries, slots[i].err = runCircuit(cfg, cfg.Circuits[i])
-		}(i)
-	}
-	for range cfg.Circuits {
-		<-done
+	err := parallel.FirstError(w, len(cfg.Circuits), func(_, i int) error {
+		var err error
+		slots[i], err = runCircuit(cfg, cfg.Circuits[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []Entry
 	for i := range slots {
-		if slots[i].err != nil {
-			return nil, slots[i].err
-		}
-		out = append(out, slots[i].entries...)
+		out = append(out, slots[i]...)
 	}
 	return out, nil
-}
-
-func maxParallel() int {
-	n := runtime.NumCPU()
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
 // runCircuit produces the Table 1/2 entries for one circuit.

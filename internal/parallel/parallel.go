@@ -1,0 +1,101 @@
+// Package parallel is the worker-pool layer under every grid, sweep and
+// Monte-Carlo driver: independent iterations fan out over a fixed set of
+// goroutines, results land in their input slots, and reductions stay with the
+// caller — so output bytes never depend on the worker count or on goroutine
+// scheduling.
+//
+// The contract every helper follows:
+//
+//   - iterations are dynamically scheduled (an atomic cursor), so uneven
+//     per-item cost does not idle workers;
+//   - each iteration writes only state indexed by its own iteration number
+//     (Map) or owned exclusively by its worker (the `worker` argument indexes
+//     per-worker engine clones made with Pool), never shared scratch;
+//   - workers ≤ 0 means runtime.GOMAXPROCS(0); workers == 1 (or n ≤ 1) runs
+//     inline on the calling goroutine with worker index 0, so the serial path
+//     is the parallel path with one worker, not separate code.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values below 1 mean "one worker
+// per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs body(worker, i) for every i in [0, n), distributing iterations
+// over up to `workers` goroutines (0 = GOMAXPROCS) and blocking until all
+// complete. The worker index identifies the goroutine (0 ≤ worker < number
+// of workers actually started), so callers can give each worker exclusive
+// mutable state — an engine clone, a scratch assignment — via Pool.
+func For(workers, n int, body func(worker, i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Map runs fn for every i in [0, n) over up to `workers` goroutines and
+// returns the results in iteration order, regardless of scheduling.
+func Map[T any](workers, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(wk, i int) {
+		out[i] = fn(wk, i)
+	})
+	return out
+}
+
+// FirstError runs body for every i in [0, n) and returns the error of the
+// lowest failing iteration index, or nil. All iterations run to completion
+// (an error does not cancel the rest), matching what a serial loop that
+// collects per-slot errors and reports the first one would produce.
+func FirstError(workers, n int, body func(worker, i int) error) error {
+	for _, err := range Map(workers, n, func(wk, i int) error { return body(wk, i) }) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pool builds one state per worker — typically an evaluation-engine clone
+// plus scratch buffers — for use as `states[worker]` inside a For/Map body.
+// The worker count is normalized with Workers; mk runs on the calling
+// goroutine, so it may touch state that is not yet safe to share.
+func Pool[S any](workers int, mk func(worker int) S) []S {
+	out := make([]S, Workers(workers))
+	for i := range out {
+		out[i] = mk(i)
+	}
+	return out
+}
