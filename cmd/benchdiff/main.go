@@ -1,0 +1,142 @@
+// Command benchdiff is the CI benchmark-regression gate. It has three modes:
+//
+//	benchdiff -parse bench.txt -o bench.json
+//	    Parse `go test -bench` text output into a manifest JSON
+//	    (schema cmosopt/manifest/v1, Benchmarks populated).
+//
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 1.25]
+//	    Compare a run against the committed baseline; exit 1 when any
+//	    benchmark is more than threshold× slower, or vanished entirely.
+//
+//	benchdiff -selftest
+//	    Verify the gate itself: a synthetic 2× slowdown must fail and a
+//	    within-noise 1.1× change must pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cmosopt/internal/cli"
+	"cmosopt/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	parse := flag.String("parse", "", "parse `go test -bench` output from this file (- for stdin)")
+	out := flag.String("o", "", "with -parse: write the manifest JSON here (default stdout)")
+	baseline := flag.String("baseline", "", "baseline manifest JSON to compare against")
+	current := flag.String("current", "", "current-run manifest JSON to compare")
+	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	selftest := flag.Bool("selftest", false, "verify the gate catches a 2x slowdown and passes a 1.1x one")
+	flag.Parse()
+
+	switch {
+	case *selftest:
+		if err := runSelftest(*threshold); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("selftest ok: 2.0x slowdown fails, 1.1x passes")
+	case *parse != "":
+		if err := runParse(*parse, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		failed, err := runCompare(*baseline, *current, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if failed > 0 {
+			log.Fatalf("%d benchmark(s) regressed beyond %.2fx", failed, *threshold)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(path, out string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := cli.ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	man := obs.NewManifest("benchdiff")
+	man.Benchmarks = recs
+	if out == "" {
+		for _, rec := range recs {
+			fmt.Printf("%-40s %12.0f ns/op (%d samples)\n", rec.Name, rec.NsPerOp, rec.Samples)
+		}
+		return nil
+	}
+	return man.WriteFile(out)
+}
+
+func runCompare(baselinePath, currentPath string, threshold float64) (int, error) {
+	base, err := obs.ReadManifest(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := obs.ReadManifest(currentPath)
+	if err != nil {
+		return 0, err
+	}
+	if len(base.Benchmarks) == 0 {
+		return 0, fmt.Errorf("%s has no benchmarks", baselinePath)
+	}
+	deltas := cli.CompareBench(base.Benchmarks, cur.Benchmarks, threshold)
+	return cli.RenderBenchDeltas(os.Stdout, deltas), nil
+}
+
+// runSelftest exercises the gate with synthetic data so CI proves the
+// comparator would actually catch a regression before trusting a green run.
+func runSelftest(threshold float64) error {
+	base := []obs.BenchRecord{
+		{Name: "BenchmarkProcedure2", NsPerOp: 1e6},
+		{Name: "BenchmarkEngineFullEval", NsPerOp: 2e5},
+	}
+	scale := func(f float64) []obs.BenchRecord {
+		out := make([]obs.BenchRecord, len(base))
+		for i, r := range base {
+			r.NsPerOp *= f
+			out[i] = r
+		}
+		return out
+	}
+	if n := countFailed(cli.CompareBench(base, scale(2.0), threshold)); n != len(base) {
+		return fmt.Errorf("selftest: 2.0x slowdown flagged %d of %d benchmarks", n, len(base))
+	}
+	if n := countFailed(cli.CompareBench(base, scale(1.1), threshold)); n != 0 {
+		return fmt.Errorf("selftest: 1.1x change flagged %d benchmarks, want 0", n)
+	}
+	if n := countFailed(cli.CompareBench(base, base[:1], threshold)); n != 1 {
+		return fmt.Errorf("selftest: deleted benchmark flagged %d entries, want 1", n)
+	}
+	return nil
+}
+
+func countFailed(deltas []cli.BenchDelta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed || d.Missing {
+			n++
+		}
+	}
+	return n
+}

@@ -37,6 +37,17 @@ func main() {
 	var c *circuit.Circuit
 	var err error
 	if *profile != "" {
+		// A profile fixes the whole structure, so any explicitly-set custom
+		// generation flag would be silently ignored — reject the combination.
+		custom := map[string]bool{
+			"name": true, "gates": true, "depth": true, "pis": true,
+			"pos": true, "dffs": true, "maxfan": true, "seed": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if custom[f.Name] {
+				log.Fatalf("-%s cannot be combined with -profile (the profile fixes the structure)", f.Name)
+			}
+		})
 		c, err = netgen.Profile(*profile)
 	} else {
 		c, err = netgen.Generate(netgen.Config{

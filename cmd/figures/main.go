@@ -14,7 +14,9 @@ import (
 	"log"
 	"os"
 
+	"cmosopt/internal/cli"
 	"cmosopt/internal/experiments"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/report"
 )
 
@@ -28,10 +30,17 @@ func main() {
 	fc := flag.Float64("fc", 300e6, "required clock frequency (Hz)")
 	format := flag.String("format", "text", "output format: text, csv")
 	plot := flag.Bool("plot", false, "also render an ASCII plot of each series")
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
+	reg, err := of.Begin(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := experiments.Default()
 	cfg.Fc = *fc
+	cfg.Obs = reg
 
 	emit := func(t *report.Table) {
 		var err error
@@ -83,5 +92,12 @@ func main() {
 	}
 	if *fig != "2a" && *fig != "2b" && *fig != "all" {
 		log.Fatalf("unknown -fig %q", *fig)
+	}
+
+	man := obs.NewManifest("figures")
+	man.Circuit = *circuitName
+	man.FcHz = *fc
+	if err := of.End(man, reg); err != nil {
+		log.Fatal(err)
 	}
 }

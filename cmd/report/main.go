@@ -13,8 +13,10 @@ import (
 	"os"
 	"strings"
 
+	"cmosopt/internal/cli"
 	"cmosopt/internal/core"
 	"cmosopt/internal/experiments"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/report"
 )
 
@@ -25,10 +27,17 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated benchmark names (default: full suite)")
 	fc := flag.Float64("fc", 300e6, "required clock frequency (Hz)")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
+	reg, err := of.Begin(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := experiments.Default()
 	cfg.Fc = *fc
+	cfg.Obs = reg
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
@@ -98,4 +107,12 @@ func main() {
 		log.Fatal(err)
 	}
 	md(experiments.MultiVtTable(mv))
+
+	man := obs.NewManifest("report")
+	man.Circuit = figCircuit
+	man.FcHz = *fc
+	man.Workers = cfg.Opts.Workers
+	if err := of.End(man, reg); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -17,9 +17,11 @@ import (
 	"math"
 	"os"
 
+	"cmosopt/internal/cli"
 	"cmosopt/internal/core"
 	"cmosopt/internal/device"
 	"cmosopt/internal/netgen"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/report"
 	"cmosopt/internal/wiring"
 )
@@ -35,6 +37,8 @@ func main() {
 	act := flag.Float64("activity", 0.5, "input transition density per cycle")
 	format := flag.String("format", "text", "output format: text, csv")
 	workers := flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial; same output either way)")
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *from <= 0 || *to <= *from || *points < 2 {
@@ -49,6 +53,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	reg, err := of.Begin(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	spec := core.Spec{
 		Circuit:      ct,
 		Tech:         device.Default350(),
@@ -57,6 +65,7 @@ func main() {
 		Skew:         0.95,
 		InputProb:    0.5,
 		InputDensity: *act,
+		Obs:          reg,
 	}
 
 	// Log-spaced by exponent rather than by running product: fcs[i] =
@@ -107,6 +116,18 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
+		log.Fatal(err)
+	}
+
+	man := obs.NewManifest("sweep")
+	man.Circuit = ct.Name
+	man.Gates = ct.NumLogic()
+	man.Workers = *workers
+	for _, pt := range pts {
+		man.Results = append(man.Results,
+			cli.ResultRecord(fmt.Sprintf("fc=%.0fMHz", pt.Fc/1e6), pt.Fc, pt.Result))
+	}
+	if err := of.End(man, reg); err != nil {
 		log.Fatal(err)
 	}
 }

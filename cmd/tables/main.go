@@ -15,9 +15,11 @@ import (
 	"os"
 	"strings"
 
+	"cmosopt/internal/cli"
 	"cmosopt/internal/core"
 	"cmosopt/internal/device"
 	"cmosopt/internal/experiments"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/report"
 )
 
@@ -31,11 +33,18 @@ func main() {
 	fc := flag.Float64("fc", 300e6, "required clock frequency (Hz)")
 	m := flag.Int("M", 12, "bisection steps per Procedure 2 loop")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
+	reg, err := of.Begin(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := experiments.Default()
 	cfg.Fc = *fc
 	cfg.Opts.M = *m
+	cfg.Obs = reg
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
@@ -96,6 +105,13 @@ func main() {
 		emit(experiments.CrossNodeTable(entries))
 	default:
 		log.Fatalf("unknown -table %q", *table)
+	}
+
+	man := obs.NewManifest("tables")
+	man.FcHz = *fc
+	man.Workers = cfg.Opts.Workers
+	if err := of.End(man, reg); err != nil {
+		log.Fatal(err)
 	}
 }
 

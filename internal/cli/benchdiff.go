@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cmosopt/internal/obs"
+)
+
+// ParseBench reads `go test -bench` text output and folds it into one
+// BenchRecord per benchmark. With -count N each benchmark emits N measurement
+// lines; NsPerOp keeps the minimum across them — a benchmark can run slow
+// from scheduler interference but never fast by luck, so the minimum is the
+// noise-robust statistic for a regression gate. The -<GOMAXPROCS> suffix go
+// test appends is stripped so baselines survive core-count changes.
+func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
+	type agg struct {
+		runs    int
+		minNs   float64
+		samples int
+	}
+	byName := map[string]*agg{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8   3   123456789 ns/op [extra unit pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i := 3; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", fields[nsIdx], sc.Text())
+		}
+		name := trimProcsSuffix(fields[0])
+		a := byName[name]
+		if a == nil {
+			a = &agg{minNs: ns}
+			byName[name] = a
+			order = append(order, name)
+		} else if ns < a.minNs {
+			a.minNs = ns
+		}
+		a.runs += runs
+		a.samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	recs := make([]obs.BenchRecord, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		recs = append(recs, obs.BenchRecord{
+			Name: name, Runs: a.runs, NsPerOp: a.minNs, Samples: a.samples,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	return recs, nil
+}
+
+// trimProcsSuffix removes the "-<n>" GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkProcedure2-8" → "BenchmarkProcedure2").
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// BenchDelta is one baseline/current pair from CompareBench.
+type BenchDelta struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64 // current / baseline
+	Regressed  bool    // Ratio > threshold
+	Missing    bool    // present in baseline, absent in current
+}
+
+// CompareBench pairs current measurements against a committed baseline.
+// A benchmark regresses when current exceeds baseline × threshold (the CI
+// gate uses 1.25, i.e. >25% slower fails). Benchmarks that exist only in the
+// current run are new and pass by definition; benchmarks that vanished from
+// the current run are flagged Missing so a gate can't be dodged by deleting
+// the slow benchmark.
+func CompareBench(baseline, current []obs.BenchRecord, threshold float64) []BenchDelta {
+	cur := make(map[string]obs.BenchRecord, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	deltas := make([]BenchDelta, 0, len(baseline))
+	for _, b := range baseline {
+		d := BenchDelta{Name: b.Name, BaselineNs: b.NsPerOp}
+		c, ok := cur[b.Name]
+		if !ok {
+			d.Missing = true
+		} else {
+			d.CurrentNs = c.NsPerOp
+			if b.NsPerOp > 0 {
+				d.Ratio = c.NsPerOp / b.NsPerOp
+			}
+			d.Regressed = d.Ratio > threshold
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// RenderBenchDeltas writes a human-readable comparison table and returns how
+// many entries fail the gate (regressed or missing).
+func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) int {
+	failed := 0
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			failed++
+			fmt.Fprintf(w, "MISSING %-40s baseline %12.0f ns/op, absent from current run\n",
+				d.Name, d.BaselineNs)
+		case d.Regressed:
+			failed++
+			fmt.Fprintf(w, "FAIL    %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
+				d.Name, d.BaselineNs, d.CurrentNs, d.Ratio)
+		default:
+			fmt.Fprintf(w, "ok      %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
+				d.Name, d.BaselineNs, d.CurrentNs, d.Ratio)
+		}
+	}
+	return failed
+}

@@ -1,0 +1,101 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"cmosopt/internal/obs"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: cmosopt
+BenchmarkProcedure2-8                3     41000000 ns/op
+BenchmarkProcedure2-8                3     39500000 ns/op
+BenchmarkProcedure2-8                3     40200000 ns/op
+BenchmarkEngineFullEval-8         1000      1100000 ns/op        512 B/op       3 allocs/op
+BenchmarkEngineFullEval-8         1000      1050000 ns/op        512 B/op       3 allocs/op
+BenchmarkEngineIncremental          50       220000 ns/op
+PASS
+ok      cmosopt 12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	// Sorted by name; -8 suffix stripped; min across repeats kept.
+	want := []struct {
+		name    string
+		ns      float64
+		samples int
+	}{
+		{"BenchmarkEngineFullEval", 1050000, 2},
+		{"BenchmarkEngineIncremental", 220000, 1},
+		{"BenchmarkProcedure2", 39500000, 3},
+	}
+	for i, w := range want {
+		r := recs[i]
+		if r.Name != w.name || r.NsPerOp != w.ns || r.Samples != w.samples {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestParseBenchNoSuffix(t *testing.T) {
+	// Serial runs (GOMAXPROCS=1) emit no -N suffix; names with real hyphens
+	// keep them.
+	recs, err := ParseBench(strings.NewReader(
+		"BenchmarkSTA 100 5000 ns/op\nBenchmarkSweep/fc-hi-4 10 900 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "BenchmarkSTA" || recs[1].Name != "BenchmarkSweep/fc-hi" {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := []obs.BenchRecord{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 1000},
+	}
+	cur := []obs.BenchRecord{
+		{Name: "A", NsPerOp: 1100}, // 1.1x: within gate
+		{Name: "B", NsPerOp: 2000}, // 2.0x: regression
+		// C deleted: must be flagged
+		{Name: "D", NsPerOp: 9999}, // new benchmark: ignored
+	}
+	deltas := CompareBench(base, cur, 1.25)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["A"]; d.Regressed || d.Missing {
+		t.Errorf("A should pass: %+v", d)
+	}
+	if d := byName["B"]; !d.Regressed {
+		t.Errorf("B should regress: %+v", d)
+	}
+	if d := byName["C"]; !d.Missing {
+		t.Errorf("C should be missing: %+v", d)
+	}
+	var sb strings.Builder
+	if failed := RenderBenchDeltas(&sb, deltas); failed != 2 {
+		t.Errorf("failed = %d, want 2\n%s", failed, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"ok      A", "FAIL    B", "MISSING C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

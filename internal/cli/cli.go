@@ -16,6 +16,7 @@ import (
 	"cmosopt/internal/design"
 	"cmosopt/internal/device"
 	"cmosopt/internal/netgen"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/report"
 	"cmosopt/internal/wiring"
 )
@@ -74,6 +75,8 @@ func LowPower(args []string, out io.Writer) error {
 	m := fs.Int("M", 12, "bisection steps per Procedure 2 loop")
 	techPath := fs.String("tech", "", "technology parameter file")
 	savePath := fs.String("save", "", "write the optimized design as JSON to this file")
+	var of ObsFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +89,10 @@ func LowPower(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg, err := of.Begin(out)
+	if err != nil {
+		return err
+	}
 	p, err := core.NewProblem(core.Spec{
 		Circuit:      ct,
 		Tech:         tech,
@@ -94,6 +101,7 @@ func LowPower(args []string, out io.Writer) error {
 		Skew:         *skew,
 		InputProb:    *prob,
 		InputDensity: *act,
+		Obs:          reg,
 	})
 	if err != nil {
 		return err
@@ -138,7 +146,12 @@ func LowPower(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "design     saved to %s (verify with: go run ./cmd/verify -design %s ...)\n",
 			*savePath, *savePath)
 	}
-	return nil
+	man := obs.NewManifest("lowpower")
+	man.Circuit = p.C.Name
+	man.Gates = p.C.NumLogic()
+	man.FcHz = *fc
+	man.Results = append(man.Results, ResultRecord(*mode, *fc, res))
+	return of.End(man, reg)
 }
 
 // PrintResult renders the optimization report of cmd/lowpower.
@@ -216,6 +229,8 @@ func ECO(args []string, out io.Writer) error {
 	act := fs.Float64("activity", 0.5, "input transition density per cycle")
 	techPath := fs.String("tech", "", "technology parameter file")
 	savePath := fs.String("save", "", "write the updated design JSON here")
+	var of ObsFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,6 +254,10 @@ func ECO(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg, err := of.Begin(out)
+	if err != nil {
+		return err
+	}
 	p, err := core.NewProblem(core.Spec{
 		Circuit:      editedC,
 		Tech:         tech,
@@ -247,6 +266,7 @@ func ECO(args []string, out io.Writer) error {
 		Skew:         *skew,
 		InputProb:    *prob,
 		InputDensity: *act,
+		Obs:          reg,
 	})
 	if err != nil {
 		return err
@@ -285,7 +305,12 @@ func ECO(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "design     saved to %s\n", *savePath)
 	}
-	return nil
+	man := obs.NewManifest("eco")
+	man.Circuit = p.C.Name
+	man.Gates = p.C.NumLogic()
+	man.FcHz = *fc
+	man.Results = append(man.Results, ResultRecord("eco", *fc, res))
+	return of.End(man, reg)
 }
 
 // Verify implements cmd/verify: load a saved design and re-check it.
@@ -301,6 +326,8 @@ func Verify(args []string, out io.Writer) error {
 	prob := fs.Float64("prob", 0.5, "input signal probability")
 	act := fs.Float64("activity", 0.5, "input transition density per cycle")
 	techPath := fs.String("tech", "", "technology parameter file")
+	var of ObsFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,6 +342,10 @@ func Verify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg, err := of.Begin(out)
+	if err != nil {
+		return err
+	}
 	p, err := core.NewProblem(core.Spec{
 		Circuit:      ct,
 		Tech:         tech,
@@ -323,6 +354,7 @@ func Verify(args []string, out io.Writer) error {
 		Skew:         *skew,
 		InputProb:    *prob,
 		InputDensity: *act,
+		Obs:          reg,
 	})
 	if err != nil {
 		return err
@@ -350,6 +382,23 @@ func Verify(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "dynamic energy %s/cycle\n", report.Eng(e.Dynamic, "J"))
 	fmt.Fprintf(out, "total energy   %s/cycle (%s at %s)\n",
 		report.Eng(e.Total(), "J"), report.Eng(p.Eval.AvgPower(e), "W"), report.Eng(p.Fc, "Hz"))
+	p.Eval.FlushObs()
+	man := obs.NewManifest("verify")
+	man.Circuit = p.C.Name
+	man.Gates = p.C.NumLogic()
+	man.FcHz = *fc
+	man.Results = append(man.Results, obs.ResultRecord{
+		Label:          "verify",
+		Vdd:            a.Vdd,
+		EnergyStatic:   e.Static,
+		EnergyDynamic:  e.Dynamic,
+		EnergyTotal:    e.Total(),
+		CriticalDelayS: cd,
+		Feasible:       cd <= budget,
+	})
+	if err := of.End(man, reg); err != nil {
+		return err
+	}
 	if cd <= budget {
 		fmt.Fprintln(out, "TIMING PASS")
 		return nil

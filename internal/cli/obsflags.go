@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"cmosopt/internal/core"
+	"cmosopt/internal/obs"
+)
+
+// ObsFlags is the observability flag pair every command-line tool shares:
+// -metrics writes a run manifest (schema obs.SchemaVersion) on exit, -pprof
+// serves /debug/pprof and /debug/vars for the duration of the run. With
+// neither flag set no registry exists and instrumentation is off entirely.
+type ObsFlags struct {
+	MetricsPath string
+	PprofAddr   string
+}
+
+// Register adds the -metrics and -pprof flags to a flag set.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsPath, "metrics", "", "write a run-manifest JSON (spans, counters, histograms) to this file")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+}
+
+// Begin creates the run's registry when either flag was set (nil otherwise),
+// installs it as the process default so the worker pools record into it, and
+// starts the debug endpoint when -pprof was given.
+func (f *ObsFlags) Begin(out io.Writer) (*obs.Registry, error) {
+	if f.MetricsPath == "" && f.PprofAddr == "" {
+		return nil, nil
+	}
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	if f.PprofAddr != "" {
+		addr, err := obs.ServeDebug(f.PprofAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "pprof      serving /debug/pprof and /debug/vars on http://%s\n", addr)
+	}
+	return reg, nil
+}
+
+// End finalizes the run: freezes the registry into the manifest, writes the
+// manifest when -metrics was given, and uninstalls the default registry so a
+// finished run never keeps recording (the cli functions are reused by tests
+// within one process). No-op when Begin returned nil.
+func (f *ObsFlags) End(m *obs.Manifest, reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	obs.SetDefault(nil)
+	m.Finish(reg)
+	if f.MetricsPath == "" {
+		return nil
+	}
+	return m.WriteFile(f.MetricsPath)
+}
+
+// ResultRecord converts one optimization result into its manifest form.
+func ResultRecord(label string, fcHz float64, r *core.Result) obs.ResultRecord {
+	return obs.ResultRecord{
+		Label:          label,
+		Method:         r.Method,
+		FcHz:           fcHz,
+		Vdd:            r.Vdd,
+		Vts:            r.VtsValues,
+		EnergyStatic:   r.Energy.Static,
+		EnergyDynamic:  r.Energy.Dynamic,
+		EnergyTotal:    r.Energy.Total(),
+		CriticalDelayS: r.CriticalDelay,
+		Feasible:       r.Feasible,
+		Evaluations:    r.Evaluations,
+	}
+}

@@ -50,12 +50,19 @@ func (p *Problem) OptimizeAnneal(opts AnnealOptions) (*Result, error) {
 	n := p.C.N()
 	budget := p.CycleBudget()
 
+	node := p.span("optimize.anneal")
+	nT := node.Start()
+	defer nT.Stop()
+	scoreNode := node.Child("score")
+
 	// The annealer scores states by energy with a delay penalty; feasible
 	// incumbents are tracked separately so the result is always legal.
 	var bestFeasible *design.Assignment
 	bestFeasibleE := math.Inf(1)
 
 	score := func(s annealState) float64 {
+		sT := scoreNode.Start()
+		defer sT.Stop()
 		e := p.Eval.Energy(s.a).Total()
 		cd := p.Eval.CriticalDelay(s.a)
 		if cd <= budget {

@@ -3,6 +3,7 @@ package core
 import (
 	"cmosopt/internal/design"
 	"cmosopt/internal/eval"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/parallel"
 )
 
@@ -16,11 +17,15 @@ type evalCtx struct {
 	p   *Problem
 	eng *eval.Engine
 	wtd []float64 // solveWidths per-pass delay scratch (lazily allocated)
+	// trace is the span node candidate evaluations attach under — set by the
+	// running optimizer on the serial context (via Problem.setTrace) and
+	// inherited by worker clones. Nil (spans off) without a registry.
+	trace *obs.Span
 }
 
 // cloneCtx builds a fresh worker context over a clone of the main engine.
 func (p *Problem) cloneCtx() *evalCtx {
-	return &evalCtx{p: p, eng: p.Eval.Clone()}
+	return &evalCtx{p: p, eng: p.Eval.Clone(), trace: p.sctx.trace}
 }
 
 // fork returns a worker's private copy of the problem for drivers that run
@@ -40,8 +45,9 @@ func (p *Problem) fork() *Problem {
 		Skew:     p.Skew,
 		logicIDs: p.logicIDs,
 		Eval:     p.Eval.Clone(),
+		otrace:   p.otrace,
 	}
-	np.sctx = &evalCtx{p: np, eng: np.Eval}
+	np.sctx = &evalCtx{p: np, eng: np.Eval, trace: p.sctx.trace}
 	return np
 }
 

@@ -34,6 +34,12 @@ func (p *Problem) OptimizeDualVdd(opts Options) (*Result, error) {
 	}
 	evals0 := p.Eval.FullEvalEquivalents()
 
+	node := p.span("optimize.dualvdd")
+	nT := node.Start()
+	defer nT.Stop()
+	oldTrace := p.setTrace(node)
+	defer p.setTrace(oldTrace)
+
 	ids, err := p.C.LogicIDs()
 	if err != nil {
 		return nil, err
@@ -102,6 +108,8 @@ func (p *Problem) OptimizeDualVdd(opts Options) (*Result, error) {
 	}
 
 	evalRails := func(highVdd, lowVdd float64) (float64, *design.Assignment, bool) {
+		rT := node.StartChild("rail-point")
+		defer rT.Stop()
 		if cluster(highVdd, lowVdd) == 0 {
 			return math.Inf(1), nil, false
 		}

@@ -44,6 +44,12 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	}
 	evals0 := p.Eval.FullEvalEquivalents()
 
+	node := p.span("optimize.multivt")
+	nT := node.Start()
+	defer nT.Stop()
+	oldTrace := p.setTrace(node.Child("coord-descent"))
+	defer p.setTrace(oldTrace)
+
 	// Partition logic gates by realized slack fraction at the single-Vt
 	// optimum: group 0 = least slack (most critical). The Delays result is
 	// engine scratch, consumed immediately below.
@@ -77,6 +83,8 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	// parallel grid scans hand worker contexts fresh gv slices, so the only
 	// shared captures (vdd, group, ids) are read-only during a scan.
 	evalGroups := func(c *evalCtx, gv []float64) (float64, *design.Assignment, bool) {
+		gT := c.trace.StartChild("group-point")
+		defer gT.Stop()
 		a := design.Uniform(n, vdd, baseVt, p.Tech.WMin)
 		for _, id := range ids {
 			a.Vts[id] = gv[group[id]]
@@ -151,6 +159,7 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 	}
 
 	// Final supply polish at the chosen thresholds.
+	p.setTrace(node.Child("vdd-polish"))
 	vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
 	optimize.GoldenSection(func(v float64) float64 {
 		old := vdd

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cmosopt/internal/obs"
+)
+
+// TestObsDoesNotChangeOptimizerOutput is the acceptance contract for the
+// observability layer: running the full joint optimizer with a registry
+// attached must produce byte-identical results to an uninstrumented run —
+// instrumentation is write-only.
+func TestObsDoesNotChangeOptimizerOutput(t *testing.T) {
+	c := smallCircuit(t)
+	opts := DefaultOptions()
+
+	plain := problemFor(t, c, 0.5)
+	want, err := plain.OptimizeJoint(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	spec := specFor(c, 0.5)
+	spec.Obs = reg
+	ip, err := NewProblem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.OptimizeJoint(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("instrumented result diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// And the run must actually have been observed: the span tree carries the
+	// elaborate and optimize phases with nonzero time.
+	reg.Finish()
+	snap := reg.Snapshot()
+	byName := map[string]obs.SpanSnapshot{}
+	for _, ch := range snap.Spans.Children {
+		byName[ch.Name] = ch
+	}
+	for _, phase := range []string{"elaborate", "optimize.joint"} {
+		s, ok := byName[phase]
+		if !ok || s.Count < 1 || s.DurationNS <= 0 {
+			t.Errorf("phase %q missing or empty in span tree: %+v", phase, s)
+		}
+	}
+	if snap.Counters["eval.full_delay_sweeps"] < 1 {
+		t.Errorf("engine counters not flushed: %v", snap.Counters)
+	}
+}
+
+// TestObsSpanTreeShape checks the joint optimizer's tree: vdd-level nests
+// point, which nests widths and energy.
+func TestObsSpanTreeShape(t *testing.T) {
+	c := smallCircuit(t)
+	reg := obs.NewRegistry()
+	spec := specFor(c, 0.5)
+	spec.Obs = reg
+	p, err := NewProblem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OptimizeJoint(DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	reg.Finish()
+
+	find := func(s obs.SpanSnapshot, name string) (obs.SpanSnapshot, bool) {
+		for _, ch := range s.Children {
+			if ch.Name == name {
+				return ch, true
+			}
+		}
+		return obs.SpanSnapshot{}, false
+	}
+	root := reg.Snapshot().Spans
+	joint, ok := find(*root, "optimize.joint")
+	if !ok {
+		t.Fatalf("no optimize.joint under root: %+v", root)
+	}
+	lvl, ok := find(joint, "vdd-level")
+	if !ok || lvl.Count < 2 {
+		t.Fatalf("vdd-level missing or ran once: %+v", joint)
+	}
+	pt, ok := find(lvl, "point")
+	if !ok || pt.Count < lvl.Count {
+		t.Fatalf("point missing or undercounted: %+v", lvl)
+	}
+	w, ok := find(pt, "widths")
+	if !ok || w.Count < pt.Count {
+		t.Errorf("widths missing under point: %+v", pt)
+	}
+	// Energy is only computed for width-feasible points, so its count is
+	// positive but can trail the point count.
+	e, ok := find(pt, "energy")
+	if !ok || e.Count < 1 || e.Count > pt.Count {
+		t.Errorf("energy missing under point: %+v", pt)
+	}
+}

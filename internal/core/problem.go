@@ -15,6 +15,7 @@ import (
 	"cmosopt/internal/design"
 	"cmosopt/internal/device"
 	"cmosopt/internal/eval"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/power"
 	"cmosopt/internal/timing"
 	"cmosopt/internal/wiring"
@@ -53,6 +54,11 @@ type Spec struct {
 	// signal probabilities and transition densities. Quadratic memory in the
 	// circuit size; limited to module-scale networks (≤ ~1000 gates).
 	CorrelatedActivity bool
+
+	// Obs, when non-nil, collects timing spans, evaluation counters and
+	// worker utilization for this problem and every optimizer run on it.
+	// Purely observational: attaching a registry never changes any result.
+	Obs *obs.Registry
 }
 
 // Problem is a fully elaborated optimization instance: combinational circuit,
@@ -69,8 +75,23 @@ type Problem struct {
 	Fc      float64
 	Skew    float64
 
-	logicIDs []int    // logic gate IDs in topological order (read-only)
-	sctx     *evalCtx // the problem's own serial evaluation context
+	logicIDs []int     // logic gate IDs in topological order (read-only)
+	sctx     *evalCtx  // the problem's own serial evaluation context
+	otrace   *obs.Span // root span of the attached registry (nil without one)
+}
+
+// span returns the named top-level span node for this problem's run — a
+// child of the attached registry's root, or nil (every use is a no-op) when
+// no registry was attached.
+func (p *Problem) span(name string) *obs.Span { return p.otrace.Child(name) }
+
+// setTrace points the serial context's span node at s and returns the prior
+// node for the caller to defer-restore; worker contexts cloned while the
+// trace is set inherit it, so parallel scans attach to the same node.
+func (p *Problem) setTrace(s *obs.Span) *obs.Span {
+	old := p.sctx.trace
+	p.sctx.trace = s
+	return old
 }
 
 // NewProblem elaborates a Spec: cuts DFFs, propagates activities, builds the
@@ -97,7 +118,12 @@ func NewProblem(s Spec) (*Problem, error) {
 		}
 	}
 
+	elab := s.Obs.Root().Child("elaborate")
+	elabT := elab.Start()
+	defer elabT.Stop()
+
 	// Activity profile.
+	actT := elab.StartChild("activity")
 	specs := make(map[int]activity.InputSpec, len(c.PIs))
 	for _, id := range c.PIs {
 		specs[id] = activity.InputSpec{Prob: s.InputProb, Density: s.InputDensity}
@@ -124,6 +150,7 @@ func NewProblem(s Spec) (*Problem, error) {
 		}
 		act = &activity.Profile{Prob: corr.Prob, Density: corr.Density}
 	}
+	actT.Stop()
 
 	wire, err := wiring.New(s.Wiring, max(c.NumLogic(), 1))
 	if err != nil {
@@ -138,6 +165,7 @@ func NewProblem(s Spec) (*Problem, error) {
 	}
 
 	budget := s.Skew / s.Fc
+	p1T := elab.StartChild("procedure1")
 	bres, err := timing.AssignBudgets(ta, budget)
 	if err != nil {
 		return nil, err
@@ -154,6 +182,7 @@ func NewProblem(s Spec) (*Problem, error) {
 	if _, err := timing.RepairBudgets(ta, bres, kappa, gamma); err != nil {
 		return nil, err
 	}
+	p1T.Stop()
 
 	p := &Problem{
 		C:       c,
@@ -171,6 +200,8 @@ func NewProblem(s Spec) (*Problem, error) {
 	if p.logicIDs, err = c.LogicIDs(); err != nil {
 		return nil, err
 	}
+	p.otrace = s.Obs.Root()
+	p.Eval.AttachObs(s.Obs)
 	p.sctx = &evalCtx{p: p, eng: p.Eval}
 	p.repairUnreachableBudgets()
 	return p, nil
@@ -213,6 +244,7 @@ func (r *Result) Savings(other *Result) float64 {
 
 func (p *Problem) finishResult(method string, a *design.Assignment, feasible bool, evalsBefore float64) *Result {
 	e := p.Eval.Energy(a)
+	defer p.Eval.FlushObs()
 	return &Result{
 		Method:        method,
 		Assignment:    a,

@@ -94,6 +94,9 @@ func (p *Problem) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 func (c *evalCtx) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assignment, bool) {
 	p := c.p
 	n := p.C.N()
+	node := c.trace.Child("point")
+	ptT := node.Start()
+	defer ptT.Stop()
 	// Timing view: thresholds at the slow corner share the width slice with
 	// the nominal assignment, so the width solve writes through.
 	nominal := design.Uniform(n, vdd, vts, p.Tech.WMin)
@@ -104,7 +107,9 @@ func (c *evalCtx) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 			timingView.Vts[i] = vts * o.VtTimingFactor
 		}
 	}
+	wT := node.StartChild("widths")
 	ok := c.solveWidths(timingView, o.M, o.WidthPasses)
+	wT.Stop()
 	if !ok {
 		return math.Inf(1), nominal, false
 	}
@@ -115,7 +120,10 @@ func (c *evalCtx) evalPoint(vdd, vts float64, o *Options) (float64, *design.Assi
 			powerView.Vts[i] = vts * o.VtPowerFactor
 		}
 	}
-	return c.eng.Energy(powerView).Total(), nominal, true
+	eT := node.StartChild("energy")
+	e := c.eng.Energy(powerView).Total()
+	eT.Stop()
+	return e, nominal, true
 }
 
 // OptimizeJoint runs the paper's Procedure 2: nested directional bisection of
@@ -132,6 +140,13 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: OptimizeJoint with FixedVt set; use OptimizeBaseline")
 	}
 	evals0 := p.Eval.FullEvalEquivalents()
+
+	joint := p.span("optimize.joint")
+	jointT := joint.Start()
+	defer jointT.Stop()
+	lvl := joint.Child("vdd-level")
+	oldTrace := p.setTrace(lvl)
+	defer p.setTrace(oldTrace)
 
 	type incumbent struct {
 		e   float64
@@ -193,6 +208,7 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 			}
 			hi, lo := vtsR.Higher().Mid(), vtsR.Lower().Mid()
 			rs, mets := p.specPoints([][2]float64{{vdd, vts}, {vdd, hi}, {vdd, lo}}, &opts)
+			joint.Add("speculative_batches", 1)
 			p.Eval.Metrics().Add(mets[0])
 			next, nextVts, nextMet := rs[2], lo, mets[2]
 			if step(rs[0], vts) {
@@ -212,7 +228,9 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 	prevVdd := math.Inf(1)
 	for i := 0; i < opts.M; i++ {
 		vdd := vddR.Mid()
+		lvlT := lvl.Start()
 		e := evalVts(vdd)
+		lvlT.Stop()
 		// Paper: feasible and energy decreased → lower the supply range
 		// (chase lower switching energy); otherwise raise it.
 		if !math.IsInf(e, 1) && e <= prevVdd {
@@ -250,6 +268,11 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 // updates and the argmin applied afterwards in grid order, exactly as the
 // serial scan would have.
 func (p *Problem) refine(bestE *float64, bestA **design.Assignment, bestVdd, bestVts *float64, opts *Options) {
+	node := p.span("optimize.joint").Child("refine")
+	nT := node.Start()
+	defer nT.Stop()
+	oldTrace := p.setTrace(node)
+	defer p.setTrace(oldTrace)
 	track := func(vdd, vts float64) float64 {
 		e, a, ok := p.evalPoint(vdd, vts, opts)
 		if ok && e < *bestE {
@@ -303,6 +326,12 @@ func (p *Problem) OptimizeBaseline(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: fixed Vt %v outside tech range [%v,%v]", vt, p.Tech.VtsMin, p.Tech.VtsMax)
 	}
 	evals0 := p.Eval.FullEvalEquivalents()
+
+	node := p.span("optimize.baseline")
+	nT := node.Start()
+	defer nT.Stop()
+	oldTrace := p.setTrace(node)
+	defer p.setTrace(oldTrace)
 
 	bestE := math.Inf(1)
 	var bestA *design.Assignment

@@ -90,6 +90,7 @@ func (p *Problem) VariationStudy(tols []float64, opts Options, baseline *Result)
 	for _, f := range forks {
 		p.absorb(f.Eval)
 	}
+	p.Eval.FlushObs()
 	return out, nil
 }
 

@@ -109,11 +109,18 @@ func (p *Problem) OptimizeJointSensitivity(opts Options) (*Result, error) {
 	evals0 := p.Eval.FullEvalEquivalents()
 	const step = 0.25
 
+	node := p.span("optimize.sensitivity")
+	nT := node.Start()
+	defer nT.Stop()
+
 	bestE := math.Inf(1)
 	var bestA *design.Assignment
 	eval := func(vdd, vts float64) (float64, bool) {
 		a := design.Uniform(p.C.N(), vdd, vts, p.Tech.WMin)
-		if !p.sizeSensitivity(a, step) {
+		szT := node.StartChild("size")
+		ok := p.sizeSensitivity(a, step)
+		szT.Stop()
+		if !ok {
 			return math.Inf(1), false
 		}
 		e := p.Eval.Energy(a).Total()

@@ -92,6 +92,7 @@ func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples in
 		for _, yw := range ws {
 			p.absorb(yw.eng)
 		}
+		p.Eval.FlushObs()
 	}
 
 	// Reduce in sample order: the float sums are then bit-for-bit the same

@@ -33,6 +33,10 @@ const coeffShards = 16
 type coeffShard struct {
 	mu sync.Mutex
 	m  map[coeffKey]delay.Coeffs
+	// Lifetime hit/miss tallies for this shard (under mu; monotonic even
+	// across clears). Observability only — never consulted by evaluation.
+	hits   int64
+	misses int64
 }
 
 // CoeffCache is a concurrency-safe map from (V_dd, V_TS) to the device
@@ -65,6 +69,11 @@ func (cc *CoeffCache) lookup(k coeffKey) (delay.Coeffs, bool) {
 	s := cc.shardFor(k)
 	s.mu.Lock()
 	c, ok := s.m[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
 	s.mu.Unlock()
 	return c, ok
 }
@@ -78,6 +87,29 @@ func (cc *CoeffCache) store(k coeffKey, c delay.Coeffs) {
 	}
 	s.m[k] = c
 	s.mu.Unlock()
+}
+
+// CacheShardStats is one shard's lifetime statistics: shared-map hits and
+// misses (the engines' private single-entry fast paths never reach the
+// shards, so these measure the cross-clone sharing benefit) plus current
+// entry count.
+type CacheShardStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// ShardStats returns a per-shard statistics snapshot (each shard locked
+// individually; the whole-cache view is racy, which diagnostics tolerate).
+func (cc *CoeffCache) ShardStats() [coeffShards]CacheShardStats {
+	var out [coeffShards]CacheShardStats
+	for i := range cc.shards {
+		s := &cc.shards[i]
+		s.mu.Lock()
+		out[i] = CacheShardStats{Hits: s.hits, Misses: s.misses, Entries: len(s.m)}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Len reports the number of cached operating points (racy snapshot; for
@@ -113,6 +145,7 @@ func (e *Engine) Clone() *Engine {
 		rank:     e.rank,
 		numLogic: e.numLogic,
 		cache:    e.cache,
+		sink:     e.sink,
 		td:       make([]float64, n),
 		arr:      make([]float64, n),
 	}

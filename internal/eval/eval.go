@@ -34,6 +34,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"cmosopt/internal/activity"
 	"cmosopt/internal/circuit"
@@ -87,6 +88,12 @@ type Engine struct {
 	inDirty       []bool
 
 	met Metrics
+
+	// Optional observability sink (obs.go). Write-only from evaluation's
+	// perspective: nothing here feeds back into any result.
+	sink    *obsSink
+	flushed Metrics // Metrics already exported by FlushObs
+	primary bool    // set by New/NewDelayOnly, false on clones (see FlushObs)
 }
 
 // New builds the evaluation engine for a combinational circuit, constructing
@@ -131,6 +138,7 @@ func NewDelayOnly(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*E
 		rank:     rank,
 		numLogic: c.NumLogic(),
 		cache:    NewCoeffCache(),
+		primary:  true,
 		td:       make([]float64, c.N()),
 		arr:      make([]float64, c.N()),
 	}, nil
@@ -223,6 +231,10 @@ func (e *Engine) SlopeCoeff(vdd, vts float64) float64 { return e.dm.SlopeCoeff(v
 // delaysInto computes per-gate delays in topological order into dst.
 func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 	e.met.FullDelaySweeps++
+	var t0 time.Time
+	if e.sink != nil {
+		t0 = time.Now()
+	}
 	for _, id := range e.order {
 		g := e.C.Gate(id)
 		if !g.IsLogic() {
@@ -236,6 +248,9 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 			}
 		}
 		dst[id] = e.gateDelay(id, a, a.W[id], maxIn)
+	}
+	if e.sink != nil {
+		e.sink.sweepNS.ObserveDuration(time.Since(t0))
 	}
 }
 

@@ -235,9 +235,11 @@ func (e *Engine) pop() int {
 // push targets a strictly higher rank than the gate that caused it.
 func (e *Engine) propagate() {
 	a := e.bound
+	drained := int64(0)
 	for len(e.dirty) > 0 {
 		id := e.pop()
 		e.met.DirtyGates++
+		drained++
 		g := e.C.Gate(id)
 		newTd := 0.0
 		if g.IsLogic() {
@@ -263,5 +265,8 @@ func (e *Engine) propagate() {
 		for _, f := range g.Fanout {
 			e.push(f)
 		}
+	}
+	if e.sink != nil && drained > 0 {
+		e.sink.dirty.Observe(drained)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"cmosopt/internal/core"
 	"cmosopt/internal/device"
 	"cmosopt/internal/netgen"
+	"cmosopt/internal/obs"
 	"cmosopt/internal/parallel"
 	"cmosopt/internal/report"
 	"cmosopt/internal/wiring"
@@ -31,6 +32,9 @@ type Config struct {
 	Tech       device.Tech
 	Wiring     wiring.Params
 	Opts       core.Options
+	// Obs, when non-nil, collects spans/counters/histograms for every problem
+	// the experiment drivers elaborate. Observation only; results unchanged.
+	Obs *obs.Registry
 }
 
 // Default returns the paper's experimental conditions.
@@ -57,6 +61,7 @@ func (c *Config) spec(ct *circuit.Circuit, act float64) core.Spec {
 		Skew:         c.Skew,
 		InputProb:    c.InputProb,
 		InputDensity: act,
+		Obs:          c.Obs,
 	}
 }
 

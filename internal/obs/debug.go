@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// Live export. Publish exposes a registry snapshot through expvar (so it
+// appears under /debug/vars next to memstats), and ServeDebug starts the
+// HTTP endpoint the -pprof flag of the command-line tools points at:
+// /debug/pprof/* for CPU/heap/block profiles and /debug/vars for metrics.
+
+var publishOnce sync.Once
+
+// PublishDefault publishes the process-default registry's snapshot as the
+// expvar variable "cmosopt". The published function always reads the
+// *current* default registry, so tools (and tests) may install fresh
+// registries at any time; before one is installed the variable reads null.
+// Idempotent — expvar forbids re-publishing a name.
+func PublishDefault() {
+	publishOnce.Do(func() {
+		expvar.Publish("cmosopt", expvar.Func(func() any {
+			r := Default()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060") serving
+// the default mux — /debug/pprof/* and /debug/vars — in a background
+// goroutine, and returns the bound address (useful with ":0"). The server
+// lives for the remainder of the process; tools that exit immediately after
+// their run keep it up only as long as the run itself, which is exactly the
+// window profiling needs.
+func ServeDebug(addr string) (string, error) {
+	PublishDefault()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: -pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		// The listener closes only at process exit; Serve's error is moot.
+		_ = http.Serve(l, nil)
+	}()
+	return l.Addr().String(), nil
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, // everything below 1 collapses into bucket 0
+		{1, 1},         // [1, 2)
+		{2, 2}, {3, 2}, // [2, 4)
+		{4, 3}, {7, 3}, // [4, 8)
+		{8, 4}, // [8, 16)
+		{1023, 10}, {1024, 11},
+		{1<<62 - 1, 62}, {1 << 62, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Each boundary value must land exactly at the low edge of its bucket.
+	for i := 1; i < 63; i++ {
+		lo, hi := BucketBounds(i)
+		if bucketIndex(lo) != i || bucketIndex(hi-1) != i || bucketIndex(hi) != i+1 {
+			t.Errorf("bucket %d bounds [%d, %d) disagree with bucketIndex", i, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 1 {
+		t.Errorf("bucket 0 bounds = [%d, %d), want [0, 1)", lo, hi)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{1, 2, 3, 100, 0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 106 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if want := 106.0 / 5; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	// Buckets: 0 → b0, 1 → b1, {2,3} → b2, 100 → b7 ([64, 128)).
+	want := []Bucket{{0, 1, 1}, {1, 2, 1}, {2, 4, 2}, {64, 128, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	if s := newHistogram().Snapshot(); s.Count != 0 || s.Min != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v (min must not leak MaxInt64)", s)
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Observe(int64(w*iters + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*iters {
+		t.Fatalf("count = %d, want %d", s.Count, workers*iters)
+	}
+	if s.Min != 0 || s.Max != workers*iters-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, workers*iters-1)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}

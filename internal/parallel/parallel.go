@@ -20,6 +20,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cmosopt/internal/obs"
 )
 
 // Workers normalizes a worker-count knob: values below 1 mean "one worker
@@ -41,28 +44,76 @@ func For(workers, n int, body func(worker, i int)) {
 	if w > n {
 		w = n
 	}
+	// Pool utilization recording goes to the process-default registry when one
+	// is installed (command-line tools with -metrics; nil otherwise). It is
+	// write-only — scheduling is the same atomic cursor either way, so results
+	// cannot depend on whether recording is on.
+	reg := obs.Default()
 	if w <= 1 {
+		if reg == nil {
+			for i := 0; i < n; i++ {
+				body(0, i)
+			}
+			return
+		}
+		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			body(0, i)
 		}
+		d := time.Since(t0)
+		reg.Worker(0).Record(d, 0, int64(n))
+		recordPool(reg, n, d)
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
+	t0 := time.Now()
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
+			if reg == nil {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					body(wk, i)
+				}
+			}
+			// Instrumented lane: busy is time inside iteration bodies; idle is
+			// the rest of the lane's lifetime — spawn latency, cursor
+			// contention and scheduling gaps (workers never block waiting for
+			// items, so there is no queue-wait component).
+			lane := time.Now()
+			var busy time.Duration
+			iters := int64(0)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
+				it := time.Now()
 				body(wk, i)
+				busy += time.Since(it)
+				iters++
 			}
+			reg.Worker(wk).Record(busy, time.Since(lane)-busy, iters)
 		}(wk)
 	}
 	wg.Wait()
+	if reg != nil {
+		recordPool(reg, n, time.Since(t0))
+	}
+}
+
+// recordPool records one pool drain: how many items it dispatched and how
+// long the whole drain took wall-clock.
+func recordPool(reg *obs.Registry, n int, wall time.Duration) {
+	reg.Counter("parallel.pools").Add(1)
+	reg.Counter("parallel.iterations").Add(int64(n))
+	reg.Histogram("parallel.pool_items").Observe(int64(n))
+	reg.Histogram("parallel.pool_wall_ns").ObserveDuration(wall)
 }
 
 // Map runs fn for every i in [0, n) over up to `workers` goroutines and
