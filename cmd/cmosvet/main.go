@@ -1,0 +1,111 @@
+// Command cmosvet is the repository's invariant checker: a multichecker over
+// the four internal/analysis analyzers (evalroute, determinism,
+// obswriteonly, floateq). It runs two ways:
+//
+//	cmosvet ./...                         # standalone, over the module
+//	go vet -vettool=$(which cmosvet) ./... # as a vet tool (CI uses this)
+//
+// As a vet tool it speaks cmd/go's unit-checker protocol — -V=full for the
+// build cache, -flags for the flag handshake, then one JSON config file per
+// package — implemented in unitchecker.go on the standard library alone
+// (golang.org/x/tools is deliberately not a dependency).
+//
+// Exit status: 0 clean, 1 diagnostics reported (2 in vet-tool mode, matching
+// unitchecker), 2 usage or internal error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cmosopt/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go handshakes before any real run: -V=full asks for a version
+	// string to key the build cache, -flags for the supported flag set.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagDefs()
+		return
+	}
+
+	fs := flag.NewFlagSet("cmosvet", flag.ExitOnError)
+	names := fs.String("analyzers", "all", "comma-separated analyzer subset (evalroute,determinism,obswriteonly,floateq) or \"all\"")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cmosvet [-analyzers list] [./... | dir | package.cfg]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheck(rest[0], analyzers))
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	os.Exit(standalone(rest, analyzers))
+}
+
+// printVersion emits the tool identity cmd/go hashes into its build cache:
+// "name version hash". The hash is the binary's own content, so editing an
+// analyzer and rebuilding invalidates every cached vet result.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	fmt.Printf("%s version %s\n", name, binaryHash())
+}
+
+func binaryHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// printFlagDefs answers cmd/go's -flags handshake with the JSON flag
+// descriptors it validates user-supplied vet flags against.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{
+		{Name: "analyzers", Bool: false, Usage: "comma-separated analyzer subset or \"all\""},
+	}
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		os.Exit(2)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cmosopt/internal/analysis"
+)
+
+// standalone walks the module from the current directory and runs the
+// analyzers over every matched package, printing diagnostics in the
+// conventional file:line:col form. Returns the process exit code.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return 2
+	}
+	dirs, err := matchDirs(modRoot, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return 2
+	}
+	loader := analysis.NewLoader(analysis.Root{Prefix: modPath, Dir: modRoot})
+	loader.IncludeTests = true
+	exit := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			return 2
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(importPath, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			exit = 2
+			continue
+		}
+		for _, a := range analyzers {
+			diags, err := analysis.Analyze(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+				exit = 2
+				continue
+			}
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+				if exit == 0 {
+					exit = 1
+				}
+			}
+		}
+	}
+	return exit
+}
+
+func relPath(p string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return p
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(abs, "go.mod")
+		if _, statErr := os.Stat(gm); statErr == nil {
+			p, perr := modulePath(gm)
+			if perr != nil {
+				return "", "", perr
+			}
+			return abs, p, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// matchDirs expands the command-line patterns into package directories.
+// "./..." (optionally rooted, e.g. "./internal/...") walks recursively;
+// anything else names a single directory.
+func matchDirs(modRoot string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = strings.TrimSuffix(base, "/")
+			if base == "" || base == "." {
+				base = modRoot
+			}
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(p) {
+					abs, aerr := filepath.Abs(p)
+					if aerr != nil {
+						return aerr
+					}
+					add(abs)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !hasGoFiles(abs) {
+			return nil, fmt.Errorf("no Go files in %s", pat)
+		}
+		add(abs)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"cmosopt/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when driving a -vettool (the unit-checker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgPath and returns the
+// process exit code: 0 clean, 2 diagnostics (the exit code go vet expects
+// from a unit checker), 1 on internal failure.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go caches and re-feeds the facts output of dependency packages;
+	// these analyzers are fact-free, so an empty placeholder satisfies the
+	// protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("cmosvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	checked, err := typecheck(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, checked.fset, checked.files, checked.pkg, checked.info)
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %s: %v\n", a.Name, err)
+			return 1
+		}
+		for _, d := range pass.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkedPkg is one fully type-checked package, with the FileSet its
+// syntax and type information are keyed to.
+type checkedPkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// typecheck type-checks the package against the export data cmd/go already
+// compiled for its dependencies, falling back to type-checking the whole
+// dependency chain from source if export data cannot be read (e.g. an
+// unexpected export format version).
+func typecheck(cfg *vetConfig) (*checkedPkg, error) {
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: newExportDataImporter(fset, cfg)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err == nil {
+		return &checkedPkg{fset: fset, files: files, pkg: pkg, info: info}, nil
+	}
+	checked, srcErr := sourceTypecheck(cfg)
+	if srcErr != nil {
+		return nil, fmt.Errorf("export-data check failed (%v); source fallback failed too: %w", err, srcErr)
+	}
+	return checked, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// exportDataImporter resolves imports through the compiled export data files
+// listed in the vet config, with gc-format decoding delegated to the
+// standard library's importer.
+type exportDataImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newExportDataImporter(fset *token.FileSet, cfg *vetConfig) *exportDataImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file := cfg.PackageFile[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportDataImporter{
+		cfg: cfg,
+		gc:  importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (i *exportDataImporter) Import(path string) (*types.Package, error) {
+	canon, ok := i.cfg.ImportMap[path]
+	if !ok {
+		canon = path
+	}
+	if canon == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.ImportFrom(canon, i.cfg.Dir, 0)
+}
+
+// sourceTypecheck re-checks the package with every dependency type-checked
+// from source through the analysis Loader. Slower, but independent of the
+// compiler's export data format. The config's GoFiles are re-parsed into
+// the loader's FileSet so syntax, type info and positions stay consistent.
+func sourceTypecheck(cfg *vetConfig) (*checkedPkg, error) {
+	modRoot, modPath, err := findModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	loader := analysis.NewLoader(analysis.Root{Prefix: modPath, Dir: modRoot})
+	loader.IncludeTests = true
+	files, err := parseFiles(loader.Fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: loader}
+	pkg, err := conf.Check(cfg.ImportPath, loader.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &checkedPkg{fset: loader.Fset, files: files, pkg: pkg, info: info}, nil
+}

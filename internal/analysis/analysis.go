@@ -1,0 +1,236 @@
+// Package analysis is a minimal, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, plus the four cmosvet analyzers
+// that enforce this repository's architectural invariants at compile time:
+//
+//   - evalroute (evalroute.go): every delay/power evaluator is constructed by
+//     internal/eval — the PR 1 "one evaluation route" invariant;
+//   - determinism (determinism.go): no wall-clock, no global math/rand, and
+//     no map-iteration order escaping into outputs in the deterministic
+//     packages — the PR 2 "byte-identical at any worker count" invariant;
+//   - obswriteonly (obswriteonly.go): instrumentation is write-only outside
+//     the observability and tool layers — the PR 3 "instrumentation never
+//     changes outputs" invariant;
+//   - floateq (floateq.go): no raw float ==/!= in bisection/convergence
+//     code; comparisons route through internal/floats.
+//
+// The x/tools module is deliberately not vendored (this module has zero
+// dependencies); the subset reimplemented here — Analyzer, Pass, Diagnostic,
+// an analysistest-style fixture runner (analysistest/) and the `go vet
+// -vettool` unit-checker protocol (cmd/cmosvet) — is small and uses only the
+// standard library's go/ast, go/types and go/parser.
+//
+// # Suppression
+//
+// A finding can be waived at a site whose violation is deliberate and
+// documented with a line comment
+//
+//	//cmosvet:allow <analyzer> — <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory by convention (reviewed, not machine-checked): the allow
+// comment is the audit trail for why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and allow comments
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// Pass holds the inputs of one analyzer run over one package and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // package syntax, in file-name order
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	allow       map[string][]allowDirective // filename → directives
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+type allowDirective struct {
+	line     int
+	analyzer string
+}
+
+var allowRx = regexp.MustCompile(`^//\s*cmosvet:allow\s+([a-z]+)`)
+
+// NewPass assembles a Pass and indexes the //cmosvet:allow directives of the
+// package's files.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		allow:     make(map[string][]allowDirective),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				p.allow[pos.Filename] = append(p.allow[pos.Filename], allowDirective{line: pos.Line, analyzer: m[1]})
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a diagnostic at pos unless an allow directive for this
+// analyzer covers the line (same line, or the line directly above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.allow[position.Filename] {
+		if d.analyzer == p.Analyzer.Name && (d.line == position.Line || d.line == position.Line-1) {
+			return
+		}
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.Slice(p.diagnostics, func(i, j int) bool {
+		a, b := p.diagnostics[i].Pos, p.diagnostics[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diagnostics
+}
+
+// All returns the cmosvet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{EvalRoute, Determinism, ObsWriteOnly, FloatEq}
+}
+
+// ByName returns the named analyzers from the suite ("" or "all" → all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// --- shared AST/type helpers used by the analyzers ---
+
+// isTestFile reports whether pos lies in a *_test.go file.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgFunc resolves a call expression to (package path, function name) when
+// the callee is a selector on an imported package (fmt.Println → "fmt",
+// "Println"). The second result is false for method calls, local calls and
+// non-selector callees.
+func (p *Pass) pkgFunc(call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodOn resolves a call expression to (receiver type package path,
+// receiver type name, method name) for method calls on a named type or a
+// pointer to one.
+func (p *Pass) methodOn(call *ast.CallExpr) (pkgPath, typeName, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	selection, isMethod := p.TypesInfo.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return "", "", "", false
+	}
+	recv := selection.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), sel.Sel.Name, true
+}
+
+// pathHasSuffix reports whether the package path is exactly suffix or ends
+// with "/"+suffix (so "internal/eval" matches both the real module path and
+// fixture paths).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathIn reports whether path matches any of the given suffixes.
+func pathIn(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

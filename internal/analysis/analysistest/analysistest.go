@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture trees and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// A fixture tree lives under testdata/<analyzer>/src/<importpath>/...; each
+// expectation is a line comment on the offending line:
+//
+//	delay.New(c, tech, wire) // want `constructs a model evaluator`
+//
+// The backquoted (or double-quoted) argument is a regular expression matched
+// against the diagnostic message; several `// want` arguments on one line
+// expect several diagnostics on that line. Lines with no expectation must
+// produce no diagnostic — every unmatched finding or unsatisfied
+// expectation fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cmosopt/internal/analysis"
+)
+
+var wantRx = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)")
+var wantArgRx = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// Run loads each fixture package below root/src, applies the analyzer, and
+// reports mismatches against the fixtures' want-comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(root, "src")
+	loader := analysis.NewLoader(analysis.Root{Prefix: "", Dir: src})
+	loader.IncludeTests = true
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		diags, err := analysis.Analyze(a, pkg)
+		if err != nil {
+			t.Errorf("%s: analyzing fixture %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkExpectations(t, a, pkg, diags)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, a *analysis.Analyzer, pkg *analysis.LoadedPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		content, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for i, line := range strings.Split(string(content), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRx.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q at %s:%d: %v", a.Name, arg[1], filename, i+1, err)
+				}
+				wants = append(wants, &expectation{file: filename, line: i + 1, rx: rx, raw: arg[1]})
+			}
+		}
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d.Pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, w.raw, w.file, w.line)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Testdata returns the analyzer's fixture root, failing the test when the
+// tree is missing (a wrong path would otherwise pass vacuously).
+func Testdata(t *testing.T, elem ...string) string {
+	t.Helper()
+	root := filepath.Join(append([]string{"testdata"}, elem...)...)
+	if st, err := os.Stat(filepath.Join(root, "src")); err != nil || !st.IsDir() {
+		t.Fatalf("fixture root %s has no src/ directory: %v", root, err)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

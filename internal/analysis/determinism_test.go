@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cmosopt/internal/analysis"
+	"cmosopt/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	td := analysistest.Testdata(t, "determinism")
+	analysistest.Run(t, td, analysis.Determinism,
+		"cmosopt/internal/core",  // positive + negative cases in scope
+		"cmosopt/internal/other", // negative: outside the deterministic scope
+	)
+}

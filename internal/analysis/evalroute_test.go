@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cmosopt/internal/analysis"
+	"cmosopt/internal/analysis/analysistest"
+)
+
+func TestEvalRoute(t *testing.T) {
+	td := analysistest.Testdata(t, "evalroute")
+	analysistest.Run(t, td, analysis.EvalRoute,
+		"cmosopt/internal/badpkg", // positive: direct construction flagged
+		"cmosopt/internal/eval",   // negative: the engine may construct
+	)
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags exact ==/!= between floating-point values in the bisection
+// and convergence packages (internal/core, internal/optimize). Two float
+// variables that "should" be equal — an energy that stopped improving, a
+// width that stopped moving — rarely are bit-identical after different
+// arithmetic paths, so exact equality either never fires (a convergence
+// check that cannot terminate) or fires spuriously (a branch taken on
+// rounding noise). Comparisons route through the shared epsilon helper
+// internal/floats (floats.Eq / floats.EqTol).
+//
+// Comparisons against a compile-time constant are exempt: `opts.FixedVt != 0`
+// and friends are deliberate "knob is unset" sentinels on values that are
+// assigned, not computed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no exact float ==/!= in bisection/convergence code; use internal/floats",
+	Run:  runFloatEq,
+}
+
+// floatEqPkgs hold the bisection and convergence loops.
+var floatEqPkgs = []string{"internal/core", "internal/optimize"}
+
+func runFloatEq(pass *Pass) error {
+	if !pathIn(normalizePkgPath(pass.Pkg.Path()), floatEqPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, be.X) || !isFloatExpr(pass, be.Y) {
+				return true
+			}
+			if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+				return true // sentinel comparison against a literal/constant
+			}
+			pass.Reportf(be.Pos(),
+				"exact float %s in convergence code: bit-equality of computed floats is unreliable; use floats.Eq or floats.EqTol (internal/floats)", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Root maps an import-path prefix to the directory tree holding its source:
+// {"cmosopt", "/repo"} resolves "cmosopt/internal/eval" to
+// /repo/internal/eval. The analysistest harness uses a root with prefix ""
+// so every non-standard-library path resolves GOPATH-style under testdata.
+type Root struct {
+	Prefix string
+	Dir    string
+}
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// Loader parses and type-checks packages from source, resolving module
+// imports through Roots and everything else through the standard library's
+// source importer. It memoizes by import path, so one Loader amortizes the
+// (expensive) standard-library type-checking across every package of a run.
+type Loader struct {
+	Fset *token.FileSet
+	// Roots are tried in order; the first prefix match wins.
+	Roots []Root
+	// IncludeTests adds in-package *_test.go files to each loaded package
+	// (external "_test"-suffixed test packages are never loaded).
+	IncludeTests bool
+
+	std  types.ImporterFrom
+	pkgs map[string]*LoadedPackage
+}
+
+// NewLoader returns a Loader over the given roots.
+func NewLoader(roots ...Root) *Loader {
+	// The source importer type-checks dependencies straight from GOROOT/src;
+	// with cgo disabled it selects the pure-Go fallback files, which is both
+	// hermetic (no C toolchain in CI) and sufficient for type information.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		Roots: roots,
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:  make(map[string]*LoadedPackage),
+	}
+}
+
+// dirFor resolves an import path through Roots; ok is false when no root
+// prefix matches (i.e. the path belongs to the standard library).
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, r := range l.Roots {
+		if r.Prefix == "" {
+			// GOPATH-style root (the analysistest harness): any import path
+			// with a matching directory under Dir resolves there; everything
+			// else falls through to the standard-library importer.
+			if l.fixtureDirExists(r.Dir, path) {
+				return filepath.Join(r.Dir, filepath.FromSlash(path)), true
+			}
+			continue
+		}
+		if path == r.Prefix {
+			return r.Dir, true
+		}
+		if rest, found := strings.CutPrefix(path, r.Prefix+"/"); found {
+			return filepath.Join(r.Dir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+func (l *Loader) fixtureDirExists(root, path string) bool {
+	st, err := os.Stat(filepath.Join(root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// Import implements types.Importer so module-internal dependencies resolve
+// recursively through the Loader itself.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom (the source importer requires it).
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// Load parses and type-checks the package at the given import path.
+func (l *Loader) Load(path string) (*LoadedPackage, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q is outside every loader root", path)
+	}
+	p, err := l.loadDir(path, dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads the package in dir under the given import path without
+// consulting Roots (used by the standalone walker, which discovers
+// directories first).
+func (l *Loader) LoadDir(path, dir string) (*LoadedPackage, error) {
+	if p, ok := l.pkgs[path]; ok && p != nil {
+		return p, nil
+	}
+	p, err := l.loadDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) loadDir(path, dir string) (*LoadedPackage, error) {
+	names, err := goFilesIn(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Never mix an external test package ("foo_test") into "foo".
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: only external-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &LoadedPackage{Path: path, Files: files, Types: pkg, Info: info, Fset: l.Fset}, nil
+}
+
+// goFilesIn lists the buildable Go file names of one directory in stable
+// order.
+func goFilesIn(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Analyze runs one analyzer over one loaded package.
+func Analyze(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
+	pass := NewPass(a, p.Fset, p.Files, p.Types, p.Info)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, p.Path, err)
+	}
+	return pass.Diagnostics(), nil
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cmosopt/internal/analysis"
+	"cmosopt/internal/analysis/analysistest"
+)
+
+func TestObsWriteOnly(t *testing.T) {
+	td := analysistest.Testdata(t, "obswriteonly")
+	analysistest.Run(t, td, analysis.ObsWriteOnly,
+		"cmosopt/internal/badread", // positive: reads + stray FlushObs flagged
+		"cmosopt/internal/core",    // flush path allowed, worker-body flush flagged
+		"cmosopt/cmd/tool",         // negative: cmd/* may read
+	)
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: benchmark harnesses legitimately time things.
+func TestWallClockAllowedInTests(t *testing.T) {
+	t0 := time.Now() // ok: *_test.go
+	work()
+	if time.Since(t0) < 0 {
+		t.Fatal("impossible")
+	}
+}

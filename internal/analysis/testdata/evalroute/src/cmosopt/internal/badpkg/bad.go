@@ -1,0 +1,35 @@
+// Package badpkg bypasses the evaluation engine: every construction below
+// is a positive case of the evalroute analyzer.
+package badpkg
+
+import (
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/delay"
+	"cmosopt/internal/device"
+	"cmosopt/internal/power"
+)
+
+// Bad constructs model evaluators directly instead of going through eval.New.
+func Bad(c *circuit.Circuit) error {
+	dm, err := delay.New(c) // want `delay.New constructs a model evaluator outside internal/eval`
+	if err != nil {
+		return err
+	}
+	_ = dm
+	pm, err := power.New(c) // want `power.New constructs a model evaluator outside internal/eval`
+	if err != nil {
+		return err
+	}
+	_ = pm
+	_ = device.NewBias() // want `device.NewBias constructs a model evaluator outside internal/eval`
+	ev := delay.Evaluator{C: c} // want `composite literal of cmosopt/internal/delay.Evaluator outside internal/eval`
+	_ = ev
+	return nil
+}
+
+// Allowed shows the suppression escape hatch.
+func Allowed(c *circuit.Circuit) {
+	//cmosvet:allow evalroute — fixture demonstrating a reviewed bypass
+	dm, _ := delay.New(c)
+	_ = dm
+}

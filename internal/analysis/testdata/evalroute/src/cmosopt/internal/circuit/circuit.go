@@ -1,0 +1,4 @@
+package circuit
+
+// Circuit is a stub of the real circuit graph for analyzer fixtures.
+type Circuit struct{ Name string }

@@ -1,0 +1,9 @@
+package delay
+
+import "cmosopt/internal/circuit"
+
+// Evaluator is a stub of the Appendix-A delay model evaluator.
+type Evaluator struct{ C *circuit.Circuit }
+
+// New constructs the stub evaluator.
+func New(c *circuit.Circuit) (*Evaluator, error) { return &Evaluator{C: c}, nil }

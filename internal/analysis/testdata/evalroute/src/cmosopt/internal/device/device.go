@@ -1,0 +1,7 @@
+package device
+
+// Tech is a stub technology description.
+type Tech struct{ Vdd float64 }
+
+// NewBias is a stub device-model constructor (evalroute must flag calls).
+func NewBias() *Tech { return &Tech{} }

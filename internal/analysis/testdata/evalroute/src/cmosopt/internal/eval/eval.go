@@ -1,0 +1,28 @@
+// Package eval is the one place allowed to construct model evaluators:
+// every call below is the negative case of the evalroute analyzer.
+package eval
+
+import (
+	"cmosopt/internal/circuit"
+	"cmosopt/internal/delay"
+	"cmosopt/internal/power"
+)
+
+// Engine is a stub of the unified evaluation engine.
+type Engine struct {
+	dm *delay.Evaluator
+	pm *power.Evaluator
+}
+
+// New may construct evaluators: eval is the engine package.
+func New(c *circuit.Circuit) (*Engine, error) {
+	dm, err := delay.New(c) // ok: inside internal/eval
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.New(c) // ok: inside internal/eval
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{dm: dm, pm: pm}, nil
+}

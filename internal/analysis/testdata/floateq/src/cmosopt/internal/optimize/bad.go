@@ -1,0 +1,25 @@
+// Package optimize (fixture): positive cases of the floateq analyzer.
+package optimize
+
+// Converged compares computed floats bit-for-bit.
+func Converged(prev, cur float64) bool {
+	if prev == cur { // want `exact float == in convergence code`
+		return true
+	}
+	return false
+}
+
+// Moved uses exact inequality between computed floats.
+func Moved(a, b float64) bool {
+	return a != b // want `exact float != in convergence code`
+}
+
+// Brent mirrors the bookkeeping equalities of a Brent minimizer.
+func Brent(v, w, x float64) bool {
+	return v == x || v == w // want `exact float == in convergence code` `exact float == in convergence code`
+}
+
+// Narrow flags float32 too.
+func Narrow(a, b float32) bool {
+	return a == b // want `exact float == in convergence code`
+}

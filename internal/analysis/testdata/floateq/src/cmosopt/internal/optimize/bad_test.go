@@ -1,0 +1,10 @@
+package optimize
+
+import "testing"
+
+// Test files are exempt: golden assertions legitimately require exactness.
+func TestExactGolden(t *testing.T) {
+	if got := 0.5 * 2; got != 1.0 { // ok: *_test.go
+		t.Fatal("arithmetic")
+	}
+}

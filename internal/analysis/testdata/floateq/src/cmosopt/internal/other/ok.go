@@ -1,0 +1,5 @@
+// Package other is outside floateq's bisection/convergence scope.
+package other
+
+// RawEq is not flagged here: the invariant covers core and optimize only.
+func RawEq(a, b float64) bool { return a == b }

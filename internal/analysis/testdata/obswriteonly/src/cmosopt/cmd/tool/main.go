@@ -1,0 +1,13 @@
+// Command tool (fixture): cmd/* packages serialize instrumentation, so
+// reads are allowed here.
+package main
+
+import "cmosopt/internal/obs"
+
+func main() {
+	reg := obs.NewRegistry()
+	reg.Counter("runs").Add(1)
+	s := reg.Snapshot() // ok: cmd/* is the tool layer
+	_ = s
+	_ = reg.Counter("runs").Value() // ok: cmd/* is the tool layer
+}

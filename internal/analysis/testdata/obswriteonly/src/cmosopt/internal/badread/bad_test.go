@@ -1,0 +1,18 @@
+package badread
+
+import (
+	"testing"
+
+	"cmosopt/internal/obs"
+)
+
+// Tests may read instrumentation state: assertions about counters are the
+// point of the obs test suite.
+func TestReadsAllowed(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Add(2)
+	if reg.Counter("x").Value() != 2 { // ok: *_test.go
+		t.Fatal("counter")
+	}
+	_ = reg.Snapshot() // ok: *_test.go
+}

@@ -1,0 +1,23 @@
+// Package core (fixture): FlushObs placement cases. The package itself is
+// on the flush allowlist, so only the worker-body misuse is flagged.
+package core
+
+import (
+	"cmosopt/internal/eval"
+	"cmosopt/internal/parallel"
+)
+
+// FinishResult flushes from the primary-engine flush path: allowed.
+func FinishResult(e *eval.Engine) {
+	defer e.FlushObs() // ok: core driver owns the primary engine
+}
+
+// WorkerFlush flushes from inside a parallel worker body: every clone would
+// export deltas the primary flush later double-counts.
+func WorkerFlush(e *eval.Engine, clones []*eval.Engine) {
+	parallel.For(0, len(clones), func(wk, i int) {
+		clones[wk].Delay()
+		clones[wk].FlushObs() // want `FlushObs inside a parallel worker body`
+	})
+	e.FlushObs() // ok: primary flush after the pool drains
+}

@@ -1,0 +1,11 @@
+// Package eval is a stub engine for analyzer fixtures.
+package eval
+
+// Engine is the unified evaluation engine stub.
+type Engine struct{ primary bool }
+
+// FlushObs exports metric deltas (primary-engine flush path only).
+func (e *Engine) FlushObs() {}
+
+// Delay is a stand-in evaluation method.
+func (e *Engine) Delay() float64 { return 1 }

@@ -1,0 +1,9 @@
+// Package parallel is a stub worker-pool layer for analyzer fixtures.
+package parallel
+
+// For runs body(worker, i) for every i in [0, n).
+func For(workers, n int, body func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		body(0, i)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,8 +49,11 @@ func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 		if err != nil {
 			continue
 		}
+		// Non-finite ns/op is as malformed as a non-number: NaN in particular
+		// would poison the regression gate, since every NaN comparison is
+		// false and the benchmark could never be flagged as regressed.
 		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(ns) || math.IsInf(ns, 0) {
 			return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", fields[nsIdx], sc.Text())
 		}
 		name := trimProcsSuffix(fields[0])

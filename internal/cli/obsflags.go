@@ -36,6 +36,9 @@ func (f *ObsFlags) Begin(out io.Writer) (*obs.Registry, error) {
 	if f.PprofAddr != "" {
 		addr, err := obs.ServeDebug(f.PprofAddr)
 		if err != nil {
+			// Uninstall the default again: a failed Begin must not leave a
+			// half-started run recording into a registry nobody will End.
+			obs.SetDefault(nil)
 			return nil, err
 		}
 		fmt.Fprintf(out, "pprof      serving /debug/pprof and /debug/vars on http://%s\n", addr)

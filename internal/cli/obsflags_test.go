@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmosopt/internal/obs"
+)
+
+func TestObsFlagsRegisterAndOff(t *testing.T) {
+	var f ObsFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-metrics", "m.json", "-pprof", "localhost:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.MetricsPath != "m.json" || f.PprofAddr != "localhost:0" {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+
+	// Neither flag set: Begin is a no-op and installs nothing.
+	var off ObsFlags
+	reg, err := off.Begin(os.Stderr)
+	if err != nil || reg != nil {
+		t.Fatalf("Begin with no flags = (%v, %v), want (nil, nil)", reg, err)
+	}
+	if obs.Default() != nil {
+		t.Fatal("Begin with no flags installed a default registry")
+	}
+	if err := off.End(obs.NewManifest("test"), nil); err != nil {
+		t.Fatalf("End with nil registry: %v", err)
+	}
+}
+
+func TestObsFlagsBeginBadPprofAddr(t *testing.T) {
+	f := ObsFlags{PprofAddr: "host:not-a-port"}
+	reg, err := f.Begin(os.Stderr)
+	if err == nil {
+		t.Fatal("Begin with unlistenable -pprof address succeeded")
+	}
+	if reg != nil {
+		t.Fatalf("Begin returned a registry alongside error %v", err)
+	}
+	if !strings.Contains(err.Error(), "host:not-a-port") {
+		t.Errorf("error %q does not name the bad address", err)
+	}
+	// The failed Begin must not leave the process-default registry installed:
+	// worker pools would keep recording into a run nobody will ever End.
+	if obs.Default() != nil {
+		obs.SetDefault(nil)
+		t.Fatal("failed Begin left the default registry installed")
+	}
+}
+
+func TestObsFlagsEndUnwritableMetricsPath(t *testing.T) {
+	f := ObsFlags{MetricsPath: filepath.Join(t.TempDir(), "no-such-dir", "run.json")}
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	err := f.End(obs.NewManifest("test"), reg)
+	if err == nil {
+		t.Fatal("End with unwritable -metrics path succeeded")
+	}
+	// Even when the manifest write fails, End must uninstall the default so a
+	// finished run never keeps recording.
+	if obs.Default() != nil {
+		obs.SetDefault(nil)
+		t.Fatal("End left the default registry installed after write error")
+	}
+}
+
+func TestObsFlagsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	f := ObsFlags{MetricsPath: path}
+	reg, err := f.Begin(os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil || obs.Default() != reg {
+		t.Fatal("Begin with -metrics did not install the registry as default")
+	}
+	reg.Counter("test.count").Add(3)
+	if err := f.End(obs.NewManifest("test"), reg); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Default() != nil {
+		obs.SetDefault(nil)
+		t.Fatal("End left the default registry installed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	if !strings.Contains(string(data), "test.count") {
+		t.Errorf("manifest missing recorded counter:\n%s", data)
+	}
+}

@@ -233,7 +233,7 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 	e.met.FullDelaySweeps++
 	var t0 time.Time
 	if e.sink != nil {
-		t0 = time.Now()
+		t0 = time.Now() //cmosvet:allow determinism — sweep latency feeds an obs histogram only, never a result
 	}
 	for _, id := range e.order {
 		g := e.C.Gate(id)
@@ -250,6 +250,7 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 		dst[id] = e.gateDelay(id, a, a.W[id], maxIn)
 	}
 	if e.sink != nil {
+		//cmosvet:allow determinism — sweep latency feeds an obs histogram only, never a result
 		e.sink.sweepNS.ObserveDuration(time.Since(t0))
 	}
 }

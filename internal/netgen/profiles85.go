@@ -32,8 +32,14 @@ func Suite85Names() []string {
 	for n := range profiles85 {
 		names = append(names, n)
 	}
+	// Total order: size, then name — a size-only key would let sort.Slice's
+	// instability leak map-iteration order through gate-count ties.
 	sort.Slice(names, func(i, j int) bool {
-		return profiles85[names[i]].Gates < profiles85[names[j]].Gates
+		gi, gj := profiles85[names[i]].Gates, profiles85[names[j]].Gates
+		if gi != gj {
+			return gi < gj
+		}
+		return names[i] < names[j]
 	})
 	return names
 }

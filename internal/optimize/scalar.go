@@ -1,6 +1,10 @@
 package optimize
 
-import "math"
+import (
+	"math"
+
+	"cmosopt/internal/floats"
+)
 
 const invPhi = 0.6180339887498949 // (√5 − 1)/2
 
@@ -98,10 +102,13 @@ func Brent(f func(float64) float64, r Range, tol float64, maxIter int) (float64,
 			} else {
 				b = u
 			}
-			if fu <= fw || w == x {
+			// Near-identical bookkeeping points count as equal: a parabolic
+			// fit through two coincident abscissae is degenerate either way,
+			// and bit-exact equality would miss the rounding-noise case.
+			if fu <= fw || floats.Eq(w, x) {
 				v, fv = w, fw
 				w, fw = u, fu
-			} else if fu <= fv || v == x || v == w {
+			} else if fu <= fv || floats.Eq(v, x) || floats.Eq(v, w) {
 				v, fv = u, fu
 			}
 		}

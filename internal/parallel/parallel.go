@@ -56,10 +56,11 @@ func For(workers, n int, body func(worker, i int)) {
 			}
 			return
 		}
-		t0 := time.Now()
+		t0 := time.Now() //cmosvet:allow determinism — lane utilization feeds obs only; scheduling is unchanged
 		for i := 0; i < n; i++ {
 			body(0, i)
 		}
+		//cmosvet:allow determinism — lane utilization feeds obs only; scheduling is unchanged
 		d := time.Since(t0)
 		reg.Worker(0).Record(d, 0, int64(n))
 		recordPool(reg, n, d)
@@ -68,7 +69,7 @@ func For(workers, n int, body func(worker, i int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
-	t0 := time.Now()
+	t0 := time.Now() //cmosvet:allow determinism — pool wall time feeds obs only; scheduling is unchanged
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
@@ -85,7 +86,7 @@ func For(workers, n int, body func(worker, i int)) {
 			// the rest of the lane's lifetime — spawn latency, cursor
 			// contention and scheduling gaps (workers never block waiting for
 			// items, so there is no queue-wait component).
-			lane := time.Now()
+			lane := time.Now() //cmosvet:allow determinism — lane utilization feeds obs only; scheduling is unchanged
 			var busy time.Duration
 			iters := int64(0)
 			for {
@@ -93,16 +94,19 @@ func For(workers, n int, body func(worker, i int)) {
 				if i >= n {
 					break
 				}
-				it := time.Now()
+				it := time.Now() //cmosvet:allow determinism — iteration timing feeds obs only
 				body(wk, i)
+				//cmosvet:allow determinism — iteration timing feeds obs only
 				busy += time.Since(it)
 				iters++
 			}
+			//cmosvet:allow determinism — lane utilization feeds obs only; scheduling is unchanged
 			reg.Worker(wk).Record(busy, time.Since(lane)-busy, iters)
 		}(wk)
 	}
 	wg.Wait()
 	if reg != nil {
+		//cmosvet:allow determinism — pool wall time feeds obs only; scheduling is unchanged
 		recordPool(reg, n, time.Since(t0))
 	}
 }
