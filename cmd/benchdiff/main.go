@@ -9,8 +9,9 @@
 //	    benchmark is more than threshold× slower, or vanished entirely.
 //
 //	benchdiff -selftest
-//	    Verify the gate itself: a synthetic 2× slowdown must fail and a
-//	    within-noise 1.1× change must pass.
+//	    Verify the gate itself: a synthetic 2× slowdown must fail, a
+//	    within-noise 1.1× change must pass, and an allocs/op blow-up on a
+//	    memory-measured benchmark must fail.
 package main
 
 import (
@@ -128,13 +129,35 @@ func runSelftest(threshold float64) error {
 	if n := countFailed(cli.CompareBench(base, base[:1], threshold)); n != 1 {
 		return fmt.Errorf("selftest: deleted benchmark flagged %d entries, want 1", n)
 	}
+
+	// Allocation gate: a zero-allocation sweep that starts allocating per op
+	// must fail even when ns/op stays flat; a couple of warm-up allocations
+	// must pass.
+	memBase := []obs.BenchRecord{
+		{Name: "BenchmarkEngineFullEval/s100k", NsPerOp: 1e7, MemMeasured: true},
+	}
+	withAllocs := func(a float64) []obs.BenchRecord {
+		out := make([]obs.BenchRecord, len(memBase))
+		for i, r := range memBase {
+			r.AllocsPerOp = a
+			r.BytesPerOp = a * 64
+			out[i] = r
+		}
+		return out
+	}
+	if n := countFailed(cli.CompareBench(memBase, withAllocs(100000), threshold)); n != 1 {
+		return fmt.Errorf("selftest: per-op allocation regression flagged %d entries, want 1", n)
+	}
+	if n := countFailed(cli.CompareBench(memBase, withAllocs(2), threshold)); n != 0 {
+		return fmt.Errorf("selftest: warm-up-sized allocation count flagged %d entries, want 0", n)
+	}
 	return nil
 }
 
 func countFailed(deltas []cli.BenchDelta) int {
 	n := 0
 	for _, d := range deltas {
-		if d.Regressed || d.Missing {
+		if d.Regressed || d.AllocRegressed || d.Missing {
 			n++
 		}
 	}

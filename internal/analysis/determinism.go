@@ -10,8 +10,10 @@ import (
 // byte-identical at any worker count. In the deterministic packages —
 // internal/core, internal/eval, internal/parallel, internal/optimize, plus
 // internal/netgen and internal/report whose outputs (generated circuits,
-// aggregated tables) are part of the same byte-identical guarantee — it
-// flags, outside *_test.go files:
+// aggregated tables) are part of the same byte-identical guarantee, and
+// internal/circuit and internal/timing, whose CSR core and levelized sweeps
+// every deterministic result is computed over — it flags, outside *_test.go
+// files:
 //
 //   - time.Now / time.Since: wall-clock must never influence a result.
 //     Instrumentation sites that time work for obs histograms are the one
@@ -35,7 +37,7 @@ var Determinism = &Analyzer{
 // tests lock byte-for-byte.
 var deterministicPkgs = []string{
 	"internal/core", "internal/eval", "internal/parallel", "internal/optimize",
-	"internal/netgen", "internal/report",
+	"internal/netgen", "internal/report", "internal/circuit", "internal/timing",
 }
 
 // globalRandFuncs draw from math/rand's package-level source.

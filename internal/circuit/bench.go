@@ -116,6 +116,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
+	c.seal()
 	return c, nil
 }
 

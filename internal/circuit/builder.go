@@ -109,5 +109,6 @@ func (b *Builder) Build() (*Circuit, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("builder %q: %w", b.name, err)
 	}
+	c.seal()
 	return c, nil
 }

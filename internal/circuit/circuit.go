@@ -19,6 +19,9 @@ type Circuit struct {
 	order  []int // cached topological order of all gates
 	levels []int // cached level per gate (0 = inputs)
 	depth  int   // cached logic depth
+
+	csr    *CSR           // cached struct-of-arrays view (see csr.go)
+	byName map[string]int // lazily built name→id index for GateByName
 }
 
 // N returns the total number of gates, including inputs.
@@ -50,48 +53,42 @@ func (c *Circuit) IsSequential() bool {
 	return false
 }
 
-// GateByName returns the gate with the given name, or nil.
+// GateByName returns the gate with the given name, or nil. The name→id index
+// is built on first use (the legacy linear scan made every lookup O(n), which
+// the interactive tools felt at netgen scale). On a circuit with duplicate
+// names — which Validate rejects — the first occurrence wins, matching the
+// old scan.
 func (c *Circuit) GateByName(name string) *Gate {
-	for i := range c.Gates {
-		if c.Gates[i].Name == name {
-			return &c.Gates[i]
+	if c.byName == nil {
+		idx := make(map[string]int, len(c.Gates))
+		for i := range c.Gates {
+			if _, dup := idx[c.Gates[i].Name]; !dup {
+				idx[c.Gates[i].Name] = i
+			}
 		}
+		c.byName = idx
+	}
+	if i, ok := c.byName[name]; ok {
+		return &c.Gates[i]
 	}
 	return nil
 }
 
-// TopoOrder returns a topological order over all gates (inputs first). The
-// result is cached and shared; treat it as read-only. It fails if the circuit
-// contains a combinational cycle; cut DFFs first via Combinational.
+// TopoOrder returns a topological order over all gates (inputs first), the
+// level-grouped order of the CSR view. The result is cached and shared; treat
+// it as read-only. It fails if the circuit contains a combinational cycle;
+// cut DFFs first via Combinational.
 func (c *Circuit) TopoOrder() ([]int, error) {
 	if c.order != nil {
 		return c.order, nil
 	}
-	n := len(c.Gates)
-	indeg := make([]int, n)
-	for i := range c.Gates {
-		indeg[i] = len(c.Gates[i].Fanin)
+	s, err := c.CSR()
+	if err != nil {
+		return nil, err
 	}
-	queue := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
-		}
-	}
-	order := make([]int, 0, n)
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		order = append(order, id)
-		for _, f := range c.Gates[id].Fanout {
-			indeg[f]--
-			if indeg[f] == 0 {
-				queue = append(queue, f)
-			}
-		}
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("circuit %q: combinational cycle involving %d gates", c.Name, n-len(order))
+	order := make([]int, len(s.Order))
+	for i, id := range s.Order {
+		order[i] = int(id)
 	}
 	c.order = order
 	return order, nil
@@ -104,24 +101,13 @@ func (c *Circuit) Levels() ([]int, error) {
 	if c.levels != nil {
 		return c.levels, nil
 	}
-	order, err := c.TopoOrder()
+	s, err := c.CSR()
 	if err != nil {
 		return nil, err
 	}
-	lv := make([]int, len(c.Gates))
-	for _, id := range order {
-		g := &c.Gates[id]
-		if g.Type == Input {
-			lv[id] = 0
-			continue
-		}
-		maxIn := 0
-		for _, f := range g.Fanin {
-			if lv[f] > maxIn {
-				maxIn = lv[f]
-			}
-		}
-		lv[id] = maxIn + 1
+	lv := make([]int, len(s.Level))
+	for i, l := range s.Level {
+		lv[i] = int(l)
 	}
 	c.levels = lv
 	return lv, nil
@@ -133,18 +119,12 @@ func (c *Circuit) Depth() (int, error) {
 	if c.depth > 0 {
 		return c.depth, nil
 	}
-	lv, err := c.Levels()
+	s, err := c.CSR()
 	if err != nil {
 		return 0, err
 	}
-	d := 0
-	for _, l := range lv {
-		if l > d {
-			d = l
-		}
-	}
-	c.depth = d
-	return d, nil
+	c.depth = s.Depth
+	return s.Depth, nil
 }
 
 // Validate checks structural invariants: gate IDs match indices, fanin counts
@@ -266,6 +246,7 @@ func (c *Circuit) Combinational() (*Circuit, error) {
 	if err := nc.Validate(); err != nil {
 		return nil, fmt.Errorf("after DFF cut: %w", err)
 	}
+	nc.seal()
 	return nc, nil
 }
 

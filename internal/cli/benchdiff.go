@@ -20,9 +20,12 @@ import (
 // test appends is stripped so baselines survive core-count changes.
 func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 	type agg struct {
-		runs    int
-		minNs   float64
-		samples int
+		runs      int
+		minNs     float64
+		samples   int
+		minBytes  float64
+		minAllocs float64
+		mem       bool
 	}
 	byName := map[string]*agg{}
 	var order []string
@@ -31,15 +34,21 @@ func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// BenchmarkName-8   3   123456789 ns/op [extra unit pairs...]
+		// BenchmarkName-8   3   123456789 ns/op [117 B/op] [0 allocs/op] [extra unit pairs...]
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		nsIdx := -1
+		nsIdx, bIdx, aIdx := -1, -1, -1
 		for i := 3; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
-				nsIdx = i - 1
-				break
+			switch fields[i] {
+			case "ns/op":
+				if nsIdx < 0 {
+					nsIdx = i - 1
+				}
+			case "B/op":
+				bIdx = i - 1
+			case "allocs/op":
+				aIdx = i - 1
 			}
 		}
 		if nsIdx < 2 {
@@ -56,6 +65,20 @@ func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 		if err != nil || math.IsNaN(ns) || math.IsInf(ns, 0) {
 			return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", fields[nsIdx], sc.Text())
 		}
+		// Memory columns are optional (-benchmem / b.ReportAllocs); when
+		// present they must parse, by the same poisoning argument.
+		bytesOp, allocsOp, mem := 0.0, 0.0, false
+		if bIdx >= 2 && aIdx >= 2 {
+			bytesOp, err = strconv.ParseFloat(fields[bIdx], 64)
+			if err != nil || math.IsNaN(bytesOp) || math.IsInf(bytesOp, 0) {
+				return nil, fmt.Errorf("benchdiff: bad B/op %q in %q", fields[bIdx], sc.Text())
+			}
+			allocsOp, err = strconv.ParseFloat(fields[aIdx], 64)
+			if err != nil || math.IsNaN(allocsOp) || math.IsInf(allocsOp, 0) {
+				return nil, fmt.Errorf("benchdiff: bad allocs/op %q in %q", fields[aIdx], sc.Text())
+			}
+			mem = true
+		}
 		name := trimProcsSuffix(fields[0])
 		a := byName[name]
 		if a == nil {
@@ -64,6 +87,15 @@ func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 			order = append(order, name)
 		} else if ns < a.minNs {
 			a.minNs = ns
+		}
+		if mem {
+			if !a.mem || bytesOp < a.minBytes {
+				a.minBytes = bytesOp
+			}
+			if !a.mem || allocsOp < a.minAllocs {
+				a.minAllocs = allocsOp
+			}
+			a.mem = true
 		}
 		a.runs += runs
 		a.samples++
@@ -77,6 +109,7 @@ func ParseBench(r io.Reader) ([]obs.BenchRecord, error) {
 		a := byName[name]
 		recs = append(recs, obs.BenchRecord{
 			Name: name, Runs: a.runs, NsPerOp: a.minNs, Samples: a.samples,
+			BytesPerOp: a.minBytes, AllocsPerOp: a.minAllocs, MemMeasured: a.mem,
 		})
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
@@ -104,14 +137,28 @@ type BenchDelta struct {
 	Ratio      float64 // current / baseline
 	Regressed  bool    // Ratio > threshold
 	Missing    bool    // present in baseline, absent in current
+
+	// Allocation gate (only when both records carry memory columns).
+	BaselineAllocs float64
+	CurrentAllocs  float64
+	AllocRegressed bool
 }
+
+// allocSlack is the absolute allocs/op headroom the allocation gate ignores:
+// a handful of allocations can appear from one-time warm-up amortized over a
+// small -benchtime iteration count without meaning the steady state regressed.
+const allocSlack = 8
 
 // CompareBench pairs current measurements against a committed baseline.
 // A benchmark regresses when current exceeds baseline × threshold (the CI
-// gate uses 1.25, i.e. >25% slower fails). Benchmarks that exist only in the
-// current run are new and pass by definition; benchmarks that vanished from
-// the current run are flagged Missing so a gate can't be dodged by deleting
-// the slow benchmark.
+// gate uses 1.25, i.e. >25% slower fails). When both sides measured memory,
+// allocs/op is gated too: growing more than threshold× AND by more than
+// allocSlack absolute fails — the relative test alone would let a
+// zero-allocation baseline accept any count, so the absolute slack doubles as
+// the cap on a 0 → N escape. Benchmarks that exist only in the current run
+// are new and pass by definition; benchmarks that vanished from the current
+// run are flagged Missing so a gate can't be dodged by deleting the slow
+// benchmark.
 func CompareBench(baseline, current []obs.BenchRecord, threshold float64) []BenchDelta {
 	cur := make(map[string]obs.BenchRecord, len(current))
 	for _, r := range current {
@@ -129,6 +176,12 @@ func CompareBench(baseline, current []obs.BenchRecord, threshold float64) []Benc
 				d.Ratio = c.NsPerOp / b.NsPerOp
 			}
 			d.Regressed = d.Ratio > threshold
+			if b.MemMeasured && c.MemMeasured {
+				d.BaselineAllocs = b.AllocsPerOp
+				d.CurrentAllocs = c.AllocsPerOp
+				d.AllocRegressed = c.AllocsPerOp > b.AllocsPerOp*threshold &&
+					c.AllocsPerOp > b.AllocsPerOp+allocSlack
+			}
 		}
 		deltas = append(deltas, d)
 	}
@@ -137,7 +190,7 @@ func CompareBench(baseline, current []obs.BenchRecord, threshold float64) []Benc
 }
 
 // RenderBenchDeltas writes a human-readable comparison table and returns how
-// many entries fail the gate (regressed or missing).
+// many entries fail the gate (regressed, alloc-regressed, or missing).
 func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) int {
 	failed := 0
 	for _, d := range deltas {
@@ -150,6 +203,10 @@ func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) int {
 			failed++
 			fmt.Fprintf(w, "FAIL    %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
 				d.Name, d.BaselineNs, d.CurrentNs, d.Ratio)
+		case d.AllocRegressed:
+			failed++
+			fmt.Fprintf(w, "FAIL    %-40s %12.0f -> %12.0f allocs/op\n",
+				d.Name, d.BaselineAllocs, d.CurrentAllocs)
 		default:
 			fmt.Fprintf(w, "ok      %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
 				d.Name, d.BaselineNs, d.CurrentNs, d.Ratio)

@@ -46,6 +46,52 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchMemColumns(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.BenchRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	fe := byName["BenchmarkEngineFullEval"]
+	if !fe.MemMeasured || fe.BytesPerOp != 512 || fe.AllocsPerOp != 3 {
+		t.Errorf("FullEval mem columns = %+v, want 512 B/op, 3 allocs/op", fe)
+	}
+	p2 := byName["BenchmarkProcedure2"]
+	if p2.MemMeasured || p2.BytesPerOp != 0 || p2.AllocsPerOp != 0 {
+		t.Errorf("Procedure2 should carry no mem columns: %+v", p2)
+	}
+}
+
+func TestParseBenchMemMinAcrossRepeats(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader(
+		"BenchmarkX-8 10 1000 ns/op 256 B/op 4 allocs/op\n" +
+			"BenchmarkX-8 10 900 ns/op 128 B/op 2 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.NsPerOp != 900 || r.BytesPerOp != 128 || r.AllocsPerOp != 2 || !r.MemMeasured {
+		t.Errorf("min folding wrong: %+v", r)
+	}
+}
+
+func TestParseBenchBadMemColumn(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader(
+		"BenchmarkX 10 1000 ns/op NaN B/op 0 allocs/op\n")); err == nil {
+		t.Error("NaN B/op accepted")
+	}
+	if _, err := ParseBench(strings.NewReader(
+		"BenchmarkX 10 1000 ns/op 64 B/op +Inf allocs/op\n")); err == nil {
+		t.Error("Inf allocs/op accepted")
+	}
+}
+
 func TestParseBenchNoSuffix(t *testing.T) {
 	// Serial runs (GOMAXPROCS=1) emit no -N suffix; names with real hyphens
 	// keep them.
@@ -97,5 +143,54 @@ func TestCompareBench(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestCompareBenchAllocGate(t *testing.T) {
+	base := []obs.BenchRecord{
+		{Name: "Zero", NsPerOp: 1000, MemMeasured: true},                  // 0 allocs/op baseline
+		{Name: "Some", NsPerOp: 1000, AllocsPerOp: 100, MemMeasured: true},
+		{Name: "NoMem", NsPerOp: 1000},
+	}
+	cur := []obs.BenchRecord{
+		// ns/op flat everywhere; only allocations move.
+		{Name: "Zero", NsPerOp: 1000, AllocsPerOp: 500, MemMeasured: true},  // 0 → 500: fail
+		{Name: "Some", NsPerOp: 1000, AllocsPerOp: 104, MemMeasured: true},  // within slack: pass
+		{Name: "NoMem", NsPerOp: 1000, AllocsPerOp: 1e6, MemMeasured: true}, // baseline unmeasured: not gated
+	}
+	deltas := CompareBench(base, cur, 1.25)
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["Zero"]; !d.AllocRegressed {
+		t.Errorf("Zero should alloc-regress: %+v", d)
+	}
+	if d := byName["Some"]; d.AllocRegressed {
+		t.Errorf("Some is within slack, should pass: %+v", d)
+	}
+	if d := byName["NoMem"]; d.AllocRegressed {
+		t.Errorf("NoMem has no measured baseline, should not be gated: %+v", d)
+	}
+	var sb strings.Builder
+	if failed := RenderBenchDeltas(&sb, deltas); failed != 1 {
+		t.Errorf("failed = %d, want 1\n%s", failed, sb.String())
+	}
+	if !strings.Contains(sb.String(), "allocs/op") {
+		t.Errorf("alloc failure not rendered:\n%s", sb.String())
+	}
+}
+
+func TestCompareBenchAllocSlackCapsZeroEscape(t *testing.T) {
+	// The relative threshold alone can't gate a zero baseline (0 × anything
+	// is 0); the absolute slack must cap the escape at allocSlack.
+	base := []obs.BenchRecord{{Name: "Z", NsPerOp: 100, MemMeasured: true}}
+	within := []obs.BenchRecord{{Name: "Z", NsPerOp: 100, AllocsPerOp: allocSlack, MemMeasured: true}}
+	beyond := []obs.BenchRecord{{Name: "Z", NsPerOp: 100, AllocsPerOp: allocSlack + 1, MemMeasured: true}}
+	if d := CompareBench(base, within, 1.25)[0]; d.AllocRegressed {
+		t.Errorf("allocs/op at the slack bound should pass: %+v", d)
+	}
+	if d := CompareBench(base, beyond, 1.25)[0]; !d.AllocRegressed {
+		t.Errorf("allocs/op beyond the slack bound should fail: %+v", d)
 	}
 }

@@ -141,8 +141,7 @@ func (e *Engine) Clone() *Engine {
 		Fc:       e.Fc,
 		dm:       e.dm,
 		pm:       e.pm,
-		order:    e.order,
-		rank:     e.rank,
+		cs:       e.cs,
 		numLogic: e.numLogic,
 		cache:    e.cache,
 		sink:     e.sink,

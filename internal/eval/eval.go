@@ -65,8 +65,7 @@ type Engine struct {
 	dm *delay.Evaluator
 	pm *power.Evaluator // nil for a delay-only engine
 
-	order    []int // topological order of gate IDs
-	rank     []int // rank[id] = position of id in order
+	cs       *circuit.CSR // levelized struct-of-arrays view, shared by clones
 	numLogic int
 
 	// Device-coefficient cache: a private single-entry fast path (within one
@@ -121,21 +120,16 @@ func NewDelayOnly(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*E
 	if err != nil {
 		return nil, err
 	}
-	order, err := c.TopoOrder()
+	cs, err := c.CSR()
 	if err != nil {
 		return nil, err
-	}
-	rank := make([]int, c.N())
-	for i, id := range order {
-		rank[id] = i
 	}
 	return &Engine{
 		C:        c,
 		Tech:     tech,
 		Wire:     wire,
 		dm:       dm,
-		order:    order,
-		rank:     rank,
+		cs:       cs,
 		numLogic: c.NumLogic(),
 		cache:    NewCoeffCache(),
 		primary:  true,
@@ -193,7 +187,7 @@ func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float6
 // GateDelayWith returns t_di of one gate given the largest fanin gate delay,
 // evaluated through the coefficient cache. Input gates have zero delay.
 func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
-	if !e.C.Gate(id).IsLogic() {
+	if !e.cs.IsLogic[id] {
 		return 0
 	}
 	return e.gateDelay(id, a, a.W[id], maxFaninDelay)
@@ -213,7 +207,7 @@ func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float
 // assignment as is. Sensitivity sizers use this to score a neighbor's width
 // move without mutating the assignment.
 func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, maxFaninDelay float64) float64 {
-	if !e.C.Gate(id).IsLogic() {
+	if !e.cs.IsLogic[id] {
 		return 0
 	}
 	e.met.WidthProbes++
@@ -228,26 +222,34 @@ func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, ma
 // SlopeCoeff returns the input-rise-time coefficient of one voltage pair.
 func (e *Engine) SlopeCoeff(vdd, vts float64) float64 { return e.dm.SlopeCoeff(vdd, vts) }
 
-// delaysInto computes per-gate delays in topological order into dst.
+// delaysInto computes per-gate delays into dst, walking the CSR level by
+// level. Within a level the gates follow the topological order, so the
+// sequence of model calls — and therefore every cached value and counter —
+// matches the legacy flat walk exactly.
 func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 	e.met.FullDelaySweeps++
 	var t0 time.Time
 	if e.sink != nil {
 		t0 = time.Now() //cmosvet:allow determinism — sweep latency feeds an obs histogram only, never a result
 	}
-	for _, id := range e.order {
-		g := e.C.Gate(id)
-		if !g.IsLogic() {
-			dst[id] = 0
-			continue
-		}
-		maxIn := 0.0
-		for _, f := range g.Fanin {
-			if dst[f] > maxIn {
-				maxIn = dst[f]
+	cs := e.cs
+	for _, id := range cs.LevelGates(0) {
+		dst[id] = 0 // level 0 is inputs (and zero-delay pseudo-inputs)
+	}
+	for l := 1; l < cs.NumLevels(); l++ {
+		for _, id := range cs.LevelGates(l) {
+			if !cs.IsLogic[id] {
+				dst[id] = 0 // a feed-forward DFF in a delay-only engine
+				continue
 			}
+			maxIn := 0.0
+			for _, f := range cs.Fanins(id) {
+				if dst[f] > maxIn {
+					maxIn = dst[f]
+				}
+			}
+			dst[id] = e.gateDelay(int(id), a, a.W[id], maxIn)
 		}
-		dst[id] = e.gateDelay(id, a, a.W[id], maxIn)
 	}
 	if e.sink != nil {
 		//cmosvet:allow determinism — sweep latency feeds an obs histogram only, never a result
@@ -257,15 +259,20 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 
 // arrivalsInto computes worst arrival times from the delays in td into dst.
 func (e *Engine) arrivalsInto(dst, td []float64) {
-	for _, id := range e.order {
-		g := e.C.Gate(id)
-		maxIn := 0.0
-		for _, f := range g.Fanin {
-			if dst[f] > maxIn {
-				maxIn = dst[f]
+	cs := e.cs
+	for _, id := range cs.LevelGates(0) {
+		dst[id] = td[id]
+	}
+	for l := 1; l < cs.NumLevels(); l++ {
+		for _, id := range cs.LevelGates(l) {
+			maxIn := 0.0
+			for _, f := range cs.Fanins(id) {
+				if dst[f] > maxIn {
+					maxIn = dst[f]
+				}
 			}
+			dst[id] = maxIn + td[id]
 		}
-		dst[id] = maxIn + td[id]
 	}
 }
 
@@ -329,12 +336,15 @@ func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
 			req[id] = T
 		}
 	}
-	for i := len(e.order) - 1; i >= 0; i-- {
-		id := e.order[i]
-		g := e.C.Gate(id)
-		for _, f := range g.Fanout {
-			if r := req[f] - td[f]; r < req[id] {
-				req[id] = r
+	cs := e.cs
+	for l := cs.NumLevels() - 1; l >= 0; l-- {
+		lg := cs.LevelGates(l)
+		for i := len(lg) - 1; i >= 0; i-- {
+			id := lg[i]
+			for _, f := range cs.Fanouts(id) {
+				if r := req[f] - td[f]; r < req[id] {
+					req[id] = r
+				}
 			}
 		}
 	}
@@ -348,11 +358,8 @@ func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
 // per-gate budget, allocation-free.
 func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 	e.delaysInto(e.td, a)
-	for i := range e.C.Gates {
-		if !e.C.Gates[i].IsLogic() {
-			continue
-		}
-		if e.td[i] > budget[i] {
+	for i, logic := range e.cs.IsLogic {
+		if logic && e.td[i] > budget[i] {
 			return false
 		}
 	}
@@ -361,7 +368,7 @@ func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 
 // gateEnergy evaluates one gate's energy through the coefficient cache.
 func (e *Engine) gateEnergy(id int, a *design.Assignment) power.Breakdown {
-	if !e.C.Gates[id].IsLogic() {
+	if !e.cs.IsLogic[id] {
 		return power.Breakdown{}
 	}
 	e.met.GateEnergyCalls++

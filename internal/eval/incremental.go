@@ -84,11 +84,11 @@ func (e *Engine) SetWidth(id int, w float64) {
 	a.W[id] = w
 	e.met.IncrementalEdits++
 	e.push(id)
-	for _, f := range e.C.Gate(id).Fanin {
-		if e.C.Gate(f).IsLogic() {
-			e.push(f)
+	for _, f := range e.cs.Fanins(int32(id)) {
+		if e.cs.IsLogic[f] {
+			e.push(int(f))
 			if e.pm != nil {
-				e.refreshEnergy(f)
+				e.refreshEnergy(int(f))
 			}
 		}
 	}
@@ -188,7 +188,7 @@ func (e *Engine) push(id int) {
 	e.inDirty[id] = true
 	e.dirty = append(e.dirty, id)
 	// Sift up by topological rank.
-	d, r := e.dirty, e.rank
+	d, r := e.dirty, e.cs.Rank
 	i := len(d) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -202,7 +202,7 @@ func (e *Engine) push(id int) {
 
 // pop removes and returns the dirty gate with the smallest topological rank.
 func (e *Engine) pop() int {
-	d, r := e.dirty, e.rank
+	d, r := e.dirty, e.cs.Rank
 	id := d[0]
 	last := len(d) - 1
 	d[0] = d[last]
@@ -235,16 +235,17 @@ func (e *Engine) pop() int {
 // push targets a strictly higher rank than the gate that caused it.
 func (e *Engine) propagate() {
 	a := e.bound
+	cs := e.cs
 	drained := int64(0)
 	for len(e.dirty) > 0 {
 		id := e.pop()
 		e.met.DirtyGates++
 		drained++
-		g := e.C.Gate(id)
+		fanins := cs.Fanins(int32(id))
 		newTd := 0.0
-		if g.IsLogic() {
+		if cs.IsLogic[id] {
 			maxIn := 0.0
-			for _, f := range g.Fanin {
+			for _, f := range fanins {
 				if e.curTd[f] > maxIn {
 					maxIn = e.curTd[f]
 				}
@@ -252,7 +253,7 @@ func (e *Engine) propagate() {
 			newTd = e.gateDelay(id, a, a.W[id], maxIn)
 		}
 		maxArr := 0.0
-		for _, f := range g.Fanin {
+		for _, f := range fanins {
 			if e.curArr[f] > maxArr {
 				maxArr = e.curArr[f]
 			}
@@ -262,8 +263,8 @@ func (e *Engine) propagate() {
 			continue
 		}
 		e.curTd[id], e.curArr[id] = newTd, newArr
-		for _, f := range g.Fanout {
-			e.push(f)
+		for _, f := range cs.Fanouts(int32(id)) {
+			e.push(int(f))
 		}
 	}
 	if e.sink != nil && drained > 0 {

@@ -13,7 +13,6 @@ package netgen
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"cmosopt/internal/circuit"
 )
@@ -83,20 +82,27 @@ func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
 		perLevel[l]++
 	}
 
+	nTotal := nIn + cfg.Gates
 	levelGates := make([][]int, cfg.Depth+1)
 	levelGates[0] = inputs
-	all := append([]int(nil), inputs...) // fanin sources from completed levels only
-	isSink := make(map[int]bool, cfg.Gates+nIn)
+	all := make([]int, 0, nTotal) // fanin sources from completed levels only
+	all = append(all, inputs...)
+	isSink := newSinkSet(nTotal)
+	inFanin := newEpochSet(nTotal)
+	fanin := make([]int, 0, maxFan)
 	gateNum := 0
 	for l := 1; l <= cfg.Depth; l++ {
 		for k := 0; k < perLevel[l-1]; k++ {
 			nf := pickFanin(rng, maxFan)
 			prev := levelGates[l-1]
 			first := prev[rng.Intn(len(prev))]
-			fanin := []int{first}
+			fanin = fanin[:0]
+			fanin = append(fanin, first)
+			inFanin.reset()
+			inFanin.add(first)
 			for len(fanin) < nf {
 				src := pickSource(rng, all, isSink)
-				if containsInt(fanin, src) {
+				if inFanin.contains(src) {
 					// Avoid duplicate connections to the same driver; retry,
 					// giving up gracefully when few sources exist.
 					if len(all) <= len(fanin) {
@@ -105,42 +111,45 @@ func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
 					continue
 				}
 				fanin = append(fanin, src)
+				inFanin.add(src)
 			}
 			typ := pickType(rng, len(fanin))
 			id := b.Gate(typ, fmt.Sprintf("n%d", gateNum), fanin...)
 			gateNum++
 			for _, f := range fanin {
-				delete(isSink, f)
+				isSink.remove(f)
 			}
 			levelGates[l] = append(levelGates[l], id)
 		}
 		// Gates become visible as fanin sources (and sink candidates) only
 		// after their level is complete, so the longest chain equals Depth.
 		for _, id := range levelGates[l] {
-			isSink[id] = true
+			isSink.add(id)
 			all = append(all, id)
 		}
 	}
 
 	// Primary outputs: every sink logic gate must be observable, plus random
 	// extra gates up to the requested count. DFF-driver pseudo-POs come first.
-	sinks := make([]int, 0, len(isSink))
-	for id := range isSink {
-		sinks = append(sinks, id)
-	}
-	sort.Ints(sinks)
+	// The sink set is dense and ordered, so ascending iteration reproduces the
+	// old sort-the-map-keys enumeration.
 	wantPOs := cfg.POs + cfg.DFFs
-	isPO := make(map[int]bool, wantPOs)
-	for _, id := range sinks {
-		b.Output(id)
-		isPO[id] = true
+	isPO := make([]bool, nTotal)
+	nPO := 0
+	for id, sink := range isSink.present {
+		if sink {
+			b.Output(id)
+			isPO[id] = true
+			nPO++
+		}
 	}
-	for attempts := 0; len(isPO) < wantPOs && attempts < 100*cfg.Gates; attempts++ {
+	for attempts := 0; nPO < wantPOs && attempts < 100*cfg.Gates; attempts++ {
 		// Mark a random not-yet-chosen logic gate as an additional PO.
 		id := all[nIn+rng.Intn(cfg.Gates)]
 		if !isPO[id] {
 			b.Output(id)
 			isPO[id] = true
+			nPO++
 		}
 	}
 	c, err := b.Build()
@@ -148,15 +157,6 @@ func Generate(cfg Config, seed int64) (*circuit.Circuit, error) {
 		return nil, fmt.Errorf("netgen %s: %w", cfg.Name, err)
 	}
 	return c, nil
-}
-
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // pickFanin draws a fanin count with an ISCAS-like distribution:
@@ -181,16 +181,10 @@ func pickFanin(rng *rand.Rand, maxFan int) int {
 
 // pickSource chooses a fanin source, preferring gates that currently have no
 // fanout (70%), which keeps the natural sink count near the target PO count.
-func pickSource(rng *rand.Rand, all []int, isSink map[int]bool) int {
-	if len(isSink) > 0 && rng.Float64() < 0.70 {
+func pickSource(rng *rand.Rand, all []int, isSink *sinkSet) int {
+	if isSink.count > 0 && rng.Float64() < 0.70 {
 		// Deterministic selection among sinks: k-th smallest.
-		k := rng.Intn(len(isSink))
-		keys := make([]int, 0, len(isSink))
-		for id := range isSink {
-			keys = append(keys, id)
-		}
-		sort.Ints(keys)
-		return keys[k]
+		return isSink.kth(rng.Intn(isSink.count))
 	}
 	return all[rng.Intn(len(all))]
 }

@@ -84,8 +84,11 @@ func LoadNamed(name string) (*circuit.Circuit, error) {
 	if c, err := Profile85(name); err == nil {
 		return c, nil
 	}
-	return nil, fmt.Errorf("netgen: unknown benchmark %q (have s27, c17, %v, %v)",
-		name, SuiteNames(), Suite85Names())
+	if c, err := ScaleProfile(name); err == nil {
+		return c, nil
+	}
+	return nil, fmt.Errorf("netgen: unknown benchmark %q (have s27, c17, %v, %v, %v)",
+		name, SuiteNames(), Suite85Names(), ScaleNames())
 }
 
 // Suite generates all benchmark circuits of the paper's tables.

@@ -1,0 +1,81 @@
+package netgen
+
+// Support structures that keep Generate near-linear at 10⁵–10⁶ gates. Both
+// replace map/slice scans whose answers they reproduce exactly, so the RNG
+// draw sequence — and therefore every generated netlist — is unchanged.
+
+// sinkSet is an ordered set of gate IDs (gates currently driving nothing)
+// over a fixed ID universe [0, n), backed by a Fenwick tree so that
+// membership updates and "k-th smallest present ID" queries are O(log n).
+// The old code answered the k-th query by sorting the map's keys on every
+// call — O(n log n) per fanin draw, quadratic-plus over a whole generation.
+type sinkSet struct {
+	tree    []int32 // Fenwick (binary indexed) tree over 1-based IDs
+	present []bool
+	count   int
+	top     int // largest power of two ≤ n, the binary-descent start
+}
+
+func newSinkSet(n int) *sinkSet {
+	top := 1
+	for top*2 <= n {
+		top *= 2
+	}
+	return &sinkSet{tree: make([]int32, n+1), present: make([]bool, n), top: top}
+}
+
+func (s *sinkSet) update(id, delta int) {
+	for i := id + 1; i < len(s.tree); i += i & -i {
+		s.tree[i] += int32(delta)
+	}
+}
+
+// add inserts id; no-op when already present.
+func (s *sinkSet) add(id int) {
+	if s.present[id] {
+		return
+	}
+	s.present[id] = true
+	s.count++
+	s.update(id, 1)
+}
+
+// remove deletes id; no-op when absent (fanin gates are removed
+// unconditionally, mirroring the old delete(map, id)).
+func (s *sinkSet) remove(id int) {
+	if !s.present[id] {
+		return
+	}
+	s.present[id] = false
+	s.count--
+	s.update(id, -1)
+}
+
+// kth returns the present ID with exactly k smaller present IDs — the value
+// sort(keys)[k] used to produce. k must be in [0, count).
+func (s *sinkSet) kth(k int) int {
+	pos, rem := 0, int32(k)
+	for step := s.top; step > 0; step >>= 1 {
+		if next := pos + step; next < len(s.tree) && s.tree[next] <= rem {
+			pos = next
+			rem -= s.tree[next]
+		}
+	}
+	return pos // pos is 1-based index minus one == 0-based ID
+}
+
+// epochSet is a dense membership set cleared in O(1) by bumping the epoch,
+// used for the per-gate duplicate-fanin check (the old code rescanned the
+// fanin slice on every retry draw).
+type epochSet struct {
+	mark  []int32
+	epoch int32
+}
+
+func newEpochSet(n int) *epochSet { return &epochSet{mark: make([]int32, n), epoch: 1} }
+
+// reset empties the set.
+func (e *epochSet) reset() { e.epoch++ }
+
+func (e *epochSet) add(id int)           { e.mark[id] = e.epoch }
+func (e *epochSet) contains(id int) bool { return e.mark[id] == e.epoch }

@@ -1,0 +1,100 @@
+package netgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSinkSetMatchesSortedKeys drives a sinkSet and a reference map through
+// the same random add/remove/kth sequence: kth(k) must always equal the k-th
+// element of the map's sorted key list — the exact semantics the old
+// sort-the-keys code had, which Generate's RNG draw sequence depends on.
+func TestSinkSetMatchesSortedKeys(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(42))
+	s := newSinkSet(n)
+	ref := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			id := rng.Intn(n)
+			s.add(id)
+			ref[id] = true
+		case 1:
+			id := rng.Intn(n)
+			s.remove(id)
+			delete(ref, id)
+		case 2:
+			if len(ref) == 0 {
+				if s.count != 0 {
+					t.Fatalf("step %d: count %d, ref empty", step, s.count)
+				}
+				continue
+			}
+			if s.count != len(ref) {
+				t.Fatalf("step %d: count %d, want %d", step, s.count, len(ref))
+			}
+			keys := make([]int, 0, len(ref))
+			for k := range ref {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			k := rng.Intn(len(keys))
+			if got := s.kth(k); got != keys[k] {
+				t.Fatalf("step %d: kth(%d) = %d, want %d", step, k, got, keys[k])
+			}
+		}
+	}
+}
+
+func TestSinkSetEdgeCases(t *testing.T) {
+	s := newSinkSet(1)
+	s.add(0)
+	if s.count != 1 || s.kth(0) != 0 {
+		t.Fatalf("singleton: count=%d kth(0)=%d", s.count, s.kth(0))
+	}
+	s.add(0) // idempotent
+	if s.count != 1 {
+		t.Fatalf("double add: count=%d", s.count)
+	}
+	s.remove(0)
+	s.remove(0) // idempotent
+	if s.count != 0 {
+		t.Fatalf("double remove: count=%d", s.count)
+	}
+
+	// Non-power-of-two universe, boundary IDs.
+	s = newSinkSet(7)
+	for _, id := range []int{0, 3, 6} {
+		s.add(id)
+	}
+	for k, want := range []int{0, 3, 6} {
+		if got := s.kth(k); got != want {
+			t.Fatalf("kth(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestEpochSet(t *testing.T) {
+	e := newEpochSet(10)
+	// A fresh set contains nothing, even though mark[] is zeroed.
+	for i := 0; i < 10; i++ {
+		if e.contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+	}
+	e.add(3)
+	e.add(7)
+	if !e.contains(3) || !e.contains(7) || e.contains(5) {
+		t.Fatal("membership wrong after adds")
+	}
+	e.reset()
+	if e.contains(3) || e.contains(7) {
+		t.Fatal("reset did not clear the set")
+	}
+	e.add(3)
+	if !e.contains(3) {
+		t.Fatal("add after reset lost")
+	}
+}

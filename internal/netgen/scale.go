@@ -1,0 +1,53 @@
+package netgen
+
+import (
+	"fmt"
+	"sort"
+
+	"cmosopt/internal/circuit"
+)
+
+// Scale profiles: synthetic random-logic networks far beyond the ISCAS
+// suites, for exercising the production engine at the 10⁵–10⁶-gate frontier
+// the ROADMAP targets. The shapes extrapolate the ISCAS'89 trend (depth and
+// I/O counts grow much slower than gate count) rather than matching any
+// published netlist. s100k backs the checked-in `/s100k` benchmarks; s1m is
+// the opt-in `-tags=bigbench` smoke target.
+var scaleProfiles = map[string]Config{
+	"s100k": {Name: "s100k", Gates: 100_000, Depth: 120, PIs: 1_500, POs: 1_200, DFFs: 2_500},
+	"s1m":   {Name: "s1m", Gates: 1_000_000, Depth: 180, PIs: 6_000, POs: 5_000, DFFs: 12_000},
+}
+
+// ScaleNames returns the scale-profile names in ascending size order.
+func ScaleNames() []string {
+	names := make([]string, 0, len(scaleProfiles))
+	for n := range scaleProfiles {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		gi, gj := scaleProfiles[names[i]].Gates, scaleProfiles[names[j]].Gates
+		if gi != gj {
+			return gi < gj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// ScaleProfile generates the named scale circuit, deterministically.
+func ScaleProfile(name string) (*circuit.Circuit, error) {
+	cfg, ok := scaleProfiles[name]
+	if !ok {
+		return nil, fmt.Errorf("netgen: unknown scale profile %q (have %v)", name, ScaleNames())
+	}
+	return Generate(cfg, profileSeed(name))
+}
+
+// ScaleConfig returns the structural parameters of a named scale profile.
+func ScaleConfig(name string) (Config, error) {
+	cfg, ok := scaleProfiles[name]
+	if !ok {
+		return Config{}, fmt.Errorf("netgen: unknown scale profile %q", name)
+	}
+	return cfg, nil
+}

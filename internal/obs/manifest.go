@@ -63,7 +63,10 @@ type ResultRecord struct {
 
 // BenchRecord is one benchmark measurement: the minimum ns/op observed for
 // the benchmark across repeated runs (-count), the currency the regression
-// gate compares in.
+// gate compares in. When the benchmark reported memory statistics (-benchmem
+// or b.ReportAllocs), the minimum B/op and allocs/op ride along so the gate
+// can also catch allocation regressions — a sweep that silently starts
+// allocating per gate is a scalability bug long before it is a ns/op one.
 type BenchRecord struct {
 	Name    string  `json:"name"`
 	Runs    int     `json:"runs"`
@@ -71,6 +74,12 @@ type BenchRecord struct {
 	// Samples is how many measurement lines (-count repeats) were folded
 	// into NsPerOp.
 	Samples int `json:"samples,omitempty"`
+	// BytesPerOp and AllocsPerOp are the minimum B/op and allocs/op across
+	// the folded lines; meaningful only when MemMeasured is true (zero is a
+	// legitimate — and guarded — value for the steady-state sweeps).
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MemMeasured bool    `json:"mem_measured,omitempty"`
 }
 
 // NewManifest returns a manifest stamped with the build/host environment.

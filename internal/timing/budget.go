@@ -59,17 +59,10 @@ func AssignBudgets(a *Analysis, T float64) (*BudgetResult, error) {
 		}
 	}
 
+	cursor := newCritCursor(a)
 	for remaining > 0 {
 		// Most critical path with at least one unassigned gate.
-		bestID, best := -1, -1
-		for i := range a.C.Gates {
-			if !a.C.Gates[i].IsLogic() || assigned[i] {
-				continue
-			}
-			if th := a.Through(i); th > best {
-				best, bestID = th, i
-			}
-		}
+		bestID := cursor.next(assigned)
 		if bestID < 0 {
 			break // unreachable: remaining > 0 implies an unassigned gate
 		}
@@ -122,8 +115,8 @@ func AssignBudgets(a *Analysis, T float64) (*BudgetResult, error) {
 // unreachable target. Returns the number of budgets reduced.
 func normalizeBudgets(a *Analysis, tMax []float64, T float64) int {
 	count := 0
-	for i := range a.C.Gates {
-		if !a.C.Gates[i].IsLogic() {
+	for i, logic := range a.cs.IsLogic {
+		if !logic {
 			continue
 		}
 		lim := float64(a.FoEff[i]) * T / float64(a.Through(i))
@@ -200,16 +193,9 @@ func AssignBudgetsEnumerated(a *Analysis, T float64, maxPaths int) (*BudgetResul
 		}
 	}
 	// Gates beyond the enumeration horizon: fall back to the direct rule.
+	cursor := newCritCursor(a)
 	for remaining > 0 {
-		bestID, best := -1, -1
-		for i := range a.C.Gates {
-			if !a.C.Gates[i].IsLogic() || assigned[i] {
-				continue
-			}
-			if th := a.Through(i); th > best {
-				best, bestID = th, i
-			}
-		}
+		bestID := cursor.next(assigned)
 		if bestID < 0 {
 			break
 		}
@@ -262,14 +248,15 @@ func RepairBudgets(a *Analysis, res *BudgetResult, kappa, gamma float64) (int, e
 		return 0, fmt.Errorf("timing: repair fraction gamma %v outside (0,1)", gamma)
 	}
 	repaired := 0
-	for i := len(a.order) - 1; i >= 0; i-- {
-		id := a.order[i]
-		g := a.C.Gate(id)
-		if !g.IsLogic() {
+	cs := a.cs
+	order := cs.Order
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if !cs.IsLogic[id] {
 			continue
 		}
 		limit := math.Inf(1)
-		for _, f := range g.Fanout {
+		for _, f := range cs.Fanouts(id) {
 			if lim := gamma * res.TMax[f] / kappa; lim < limit {
 				limit = lim
 			}
@@ -289,14 +276,14 @@ func RepairBudgets(a *Analysis, res *BudgetResult, kappa, gamma float64) (int, e
 func CheckBudgets(a *Analysis, tMax []float64, T, tol float64) (float64, bool) {
 	sum := make([]float64, a.C.N())
 	worst := 0.0
-	for _, id := range a.order {
-		g := a.C.Gate(id)
-		if !g.IsLogic() {
+	cs := a.cs
+	for _, id := range cs.Order {
+		if !cs.IsLogic[id] {
 			continue
 		}
 		best := 0.0
-		for _, f := range g.Fanin {
-			if a.C.Gate(f).IsLogic() && sum[f] > best {
+		for _, f := range cs.Fanins(id) {
+			if cs.IsLogic[f] && sum[f] > best {
 				best = sum[f]
 			}
 		}

@@ -12,10 +12,15 @@
 // net still counting its off-module load). This keeps the budget shares of
 // low-fanout gates on hub-heavy paths reachable, which the paper otherwise
 // restores through its §4.2 post-processing.
+//
+// All sweeps in this package run over the circuit's CSR view (levelized
+// struct-of-arrays, see internal/circuit), so analysis cost stays flat per
+// edge at netgen's 10⁵–10⁶-gate scale.
 package timing
 
 import (
 	"fmt"
+	"sort"
 
 	"cmosopt/internal/circuit"
 )
@@ -28,8 +33,12 @@ type Analysis struct {
 	FoEff []int // effective fanout per gate (max(1, fanout) for logic gates)
 	Up    []int // max criticality of a path from an input up to gate i
 	Down  []int // max criticality of a path from gate i down to a path end
-	order []int
+	cs    *circuit.CSR
 	isPO  []bool
+
+	// byThrough lists the logic gate IDs sorted by (Through desc, id asc),
+	// built lazily by critCursor for Procedure 1's path selection.
+	byThrough []int32
 }
 
 // NewAnalysis builds the criticality analysis. The circuit must be
@@ -38,7 +47,7 @@ func NewAnalysis(c *circuit.Circuit) (*Analysis, error) {
 	if c.IsSequential() {
 		return nil, fmt.Errorf("timing: circuit %q is sequential; cut DFFs first", c.Name)
 	}
-	order, err := c.TopoOrder()
+	cs, err := c.CSR()
 	if err != nil {
 		return nil, err
 	}
@@ -47,53 +56,53 @@ func NewAnalysis(c *circuit.Circuit) (*Analysis, error) {
 		FoEff: make([]int, c.N()),
 		Up:    make([]int, c.N()),
 		Down:  make([]int, c.N()),
-		order: order,
+		cs:    cs,
 		isPO:  make([]bool, c.N()),
 	}
 	for _, id := range c.POs {
 		a.isPO[id] = true
 	}
-	for i := range c.Gates {
-		g := &c.Gates[i]
-		if !g.IsLogic() {
+	for i := range a.FoEff {
+		if !cs.IsLogic[i] {
 			continue
 		}
-		fo := g.NumFanout()
+		fo := cs.NumFanout(int32(i))
 		if fo < 1 {
 			fo = 1 // a sink still drives the module output load
 		}
 		a.FoEff[i] = fo + 1 // +1: the gate's intrinsic (self-loading) share
 	}
-	// Up: forward pass. Inputs contribute nothing.
-	for _, id := range order {
-		g := c.Gate(id)
-		if !g.IsLogic() {
-			continue
-		}
-		best := 0
-		for _, f := range g.Fanin {
-			if c.Gate(f).IsLogic() && a.Up[f] > best {
-				best = a.Up[f]
+	// Up: forward level sweep. Inputs contribute nothing.
+	for l := 1; l < cs.NumLevels(); l++ {
+		for _, id := range cs.LevelGates(l) {
+			if !cs.IsLogic[id] {
+				continue
 			}
+			best := 0
+			for _, f := range cs.Fanins(id) {
+				if cs.IsLogic[f] && a.Up[f] > best {
+					best = a.Up[f]
+				}
+			}
+			a.Up[id] = a.FoEff[id] + best
 		}
-		a.Up[id] = a.FoEff[id] + best
 	}
-	// Down: reverse pass. A path may end at any gate with no fanout, or at a
-	// primary output; continuing through a PO's internal fanout only raises
-	// criticality, so the max is always to continue when fanout exists.
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		g := c.Gate(id)
-		if !g.IsLogic() {
-			continue
-		}
-		best := 0
-		for _, f := range g.Fanout {
-			if a.Down[f] > best {
-				best = a.Down[f]
+	// Down: reverse level sweep. A path may end at any gate with no fanout,
+	// or at a primary output; continuing through a PO's internal fanout only
+	// raises criticality, so the max is always to continue when fanout exists.
+	for l := cs.NumLevels() - 1; l >= 1; l-- {
+		for _, id := range cs.LevelGates(l) {
+			if !cs.IsLogic[id] {
+				continue
 			}
+			best := 0
+			for _, f := range cs.Fanouts(id) {
+				if a.Down[f] > best {
+					best = a.Down[f]
+				}
+			}
+			a.Down[id] = a.FoEff[id] + best
 		}
-		a.Down[id] = a.FoEff[id] + best
 	}
 	return a, nil
 }
@@ -111,8 +120,8 @@ func (a *Analysis) PathCriticality(path []int) int {
 // network.
 func (a *Analysis) MaxCriticality() int {
 	best := 0
-	for i := range a.C.Gates {
-		if a.C.Gates[i].IsLogic() && a.Down[i] > best {
+	for i, logic := range a.cs.IsLogic {
+		if logic {
 			// Down of input-fed gates bounds full paths; Up+Down−FoEff of any
 			// gate is the max path through it, so taking max over the
 			// through-criticality of all gates is equivalent.
@@ -133,12 +142,13 @@ func (a *Analysis) Through(id int) int {
 // pathThrough reconstructs a most-critical path passing through the given
 // gate by walking maximum-Up fanins and maximum-Down fanouts.
 func (a *Analysis) pathThrough(id int) []int {
+	cs := a.cs
 	var upSeg []int
-	for cur := id; ; {
-		upSeg = append(upSeg, cur)
-		next, best := -1, 0
-		for _, f := range a.C.Gate(cur).Fanin {
-			if a.C.Gate(f).IsLogic() && a.Up[f] > best {
+	for cur := int32(id); ; {
+		upSeg = append(upSeg, int(cur))
+		next, best := int32(-1), 0
+		for _, f := range cs.Fanins(cur) {
+			if cs.IsLogic[f] && a.Up[f] > best {
 				best, next = a.Up[f], f
 			}
 		}
@@ -152,9 +162,9 @@ func (a *Analysis) pathThrough(id int) []int {
 	for i := len(upSeg) - 1; i >= 0; i-- {
 		path = append(path, upSeg[i])
 	}
-	for cur := id; ; {
-		next, best := -1, 0
-		for _, f := range a.C.Gate(cur).Fanout {
+	for cur := int32(id); ; {
+		next, best := int32(-1), 0
+		for _, f := range cs.Fanouts(cur) {
 			if a.Down[f] > best {
 				best, next = a.Down[f], f
 			}
@@ -162,7 +172,7 @@ func (a *Analysis) pathThrough(id int) []int {
 		if next < 0 {
 			break
 		}
-		path = append(path, next)
+		path = append(path, int(next))
 		cur = next
 	}
 	return path
@@ -172,8 +182,8 @@ func (a *Analysis) pathThrough(id int) []int {
 // logic gate IDs in input-to-output order.
 func (a *Analysis) MostCriticalPath() []int {
 	bestID, best := -1, -1
-	for i := range a.C.Gates {
-		if !a.C.Gates[i].IsLogic() {
+	for i, logic := range a.cs.IsLogic {
+		if !logic {
 			continue
 		}
 		if th := a.Through(i); th > best {
@@ -184,4 +194,50 @@ func (a *Analysis) MostCriticalPath() []int {
 		return nil
 	}
 	return a.pathThrough(bestID)
+}
+
+// critCursor selects, in amortized O(n log n) total, the unassigned logic
+// gate with the maximum through-criticality — the gate Procedure 1's path
+// selection previously found with an O(n) scan per path, which made budget
+// assignment quadratic on deep circuits. Gates are pre-sorted by
+// (Through desc, id asc); since Up/Down never change during assignment and
+// gates only ever flip to assigned, a monotone cursor over that order returns
+// exactly the gate the linear scan's `if th > best` rule (first maximum, i.e.
+// smallest ID among ties) would have picked.
+type critCursor struct {
+	a   *Analysis
+	pos int
+}
+
+func newCritCursor(a *Analysis) *critCursor {
+	if a.byThrough == nil {
+		ids := make([]int32, 0, len(a.cs.IsLogic))
+		for i, logic := range a.cs.IsLogic {
+			if logic {
+				ids = append(ids, int32(i))
+			}
+		}
+		sort.Slice(ids, func(x, y int) bool {
+			tx, ty := a.Through(int(ids[x])), a.Through(int(ids[y]))
+			if tx != ty {
+				return tx > ty
+			}
+			return ids[x] < ids[y]
+		})
+		a.byThrough = ids
+	}
+	return &critCursor{a: a}
+}
+
+// next returns the most critical unassigned logic gate, or -1 when none
+// remain.
+func (cc *critCursor) next(assigned []bool) int {
+	for cc.pos < len(cc.a.byThrough) {
+		id := cc.a.byThrough[cc.pos]
+		if !assigned[id] {
+			return int(id)
+		}
+		cc.pos++
+	}
+	return -1
 }

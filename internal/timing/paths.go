@@ -1,91 +1,136 @@
 package timing
 
-import "container/heap"
+import "sort"
+
+// K most-critical path enumeration, the role of the modified Ju–Saleh
+// machinery in the paper (with path criticality redefined from gate count to
+// fanout sum). Earlier revisions ran a best-first search over partial-path
+// states, which materializes a heap of every frontier extension — memory
+// grows with the number of partial paths touched, which is exponential in
+// depth on reconvergent networks long before k paths complete. The streaming
+// form below instead runs one levelized dynamic-programming sweep keeping at
+// most k prefix records per gate, so memory is O(n·k) flat arrays no matter
+// how many paths the network has.
+//
+// Soundness of the per-gate truncation: a complete path ending at gate t IS a
+// prefix at t, and if some path P through gate g ranks below k among g's
+// prefixes, then the ≥k better prefixes at g each extend with P's own suffix
+// into a complete path at least as critical — so P cannot be in the global
+// top k and dropping it is safe. Distinctness is structural: every record
+// descends from a unique (parent record, gate) pair, so no two records
+// reconstruct the same gate sequence.
+
+// pathRec is one prefix record: a start-to-gate path with criticality acc,
+// reconstructed by following parent indices through the shared arena.
+type pathRec struct {
+	gate   int32
+	parent int32 // arena index of the fanin's record, or -1 at a path start
+	acc    int32 // criticality of the prefix, inclusive of gate
+}
 
 // KBestPaths enumerates up to k complete input-to-output paths in
-// non-increasing order of criticality, the role of the modified Ju–Saleh
-// incremental enumeration in the paper (with path criticality redefined from
-// gate count to fanout sum). It runs best-first over partial paths with the
-// admissible bound A(prefix) + Down(next), so each completed path popped from
-// the heap is the next most critical.
+// non-increasing order of criticality, each as logic gate IDs in
+// input-to-output order.
 func (a *Analysis) KBestPaths(k int) [][]int {
-	if k <= 0 {
+	arena, ends := a.streamPaths(k)
+	if len(ends) == 0 {
 		return nil
 	}
-	h := &stateHeap{}
-	heap.Init(h)
-	// A path starts at a logic gate fed by at least one primary input.
-	for i := range a.C.Gates {
-		g := &a.C.Gates[i]
-		if !g.IsLogic() {
+	out := make([][]int, 0, len(ends))
+	for _, e := range ends {
+		var rev []int
+		for cur := e; cur >= 0; cur = arena[cur].parent {
+			rev = append(rev, int(arena[cur].gate))
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		out = append(out, rev)
+	}
+	return out
+}
+
+// KBestCriticalities returns only the criticalities of the up-to-k most
+// critical paths, non-increasing — the whole-distribution statistic Procedure
+// 1 reporting needs, without reconstructing a single gate sequence.
+func (a *Analysis) KBestCriticalities(k int) []int {
+	arena, ends := a.streamPaths(k)
+	out := make([]int, len(ends))
+	for i, e := range ends {
+		out[i] = int(arena[e].acc)
+	}
+	return out
+}
+
+// streamPaths runs the levelized sweep and returns the record arena plus the
+// arena indices of the top-k complete paths, ordered by (criticality desc,
+// then discovery order — terminal gates in topological sequence).
+func (a *Analysis) streamPaths(k int) (arena []pathRec, ends []int32) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cs := a.cs
+	n := cs.N()
+	// Survivor lists live in one flat index arena: gate id's records are
+	// listIdx[listStart[id]:listEnd[id]], sorted by acc descending. Truncated
+	// candidates are value scratch and never reach the record arena, so the
+	// arena holds at most k records per gate.
+	listStart := make([]int32, n)
+	listEnd := make([]int32, n)
+	var listIdx []int32
+	var cand []pathRec
+	for _, id := range cs.Order {
+		if !cs.IsLogic[id] {
 			continue
 		}
+		cand = cand[:0]
+		// A path starts here when at least one fanin is a non-logic gate.
 		fed := false
-		for _, f := range g.Fanin {
-			if !a.C.Gate(f).IsLogic() {
+		for _, f := range cs.Fanins(id) {
+			if !cs.IsLogic[f] {
 				fed = true
 				break
 			}
 		}
 		if fed {
-			heap.Push(h, &state{gate: i, acc: a.FoEff[i], bound: a.Down[i]})
+			cand = append(cand, pathRec{gate: id, parent: -1, acc: int32(a.FoEff[id])})
 		}
-	}
-	var out [][]int
-	for h.Len() > 0 && len(out) < k {
-		s := heap.Pop(h).(*state)
-		if s.ended {
-			out = append(out, s.path())
+		// Extend every logic fanin's surviving prefixes through this gate.
+		for _, f := range cs.Fanins(id) {
+			for _, rec := range listIdx[listStart[f]:listEnd[f]] {
+				cand = append(cand, pathRec{gate: id, parent: rec, acc: arena[rec].acc + int32(a.FoEff[id])})
+			}
+		}
+		if len(cand) == 0 {
 			continue
 		}
-		g := a.C.Gate(s.gate)
-		if a.isPO[s.gate] || g.NumFanout() == 0 {
-			// The ended marker's parent chain starts at s, which already
-			// includes this gate.
-			heap.Push(h, &state{gate: s.gate, acc: s.acc, bound: s.acc, ended: true, parent: s})
+		// Keep the k most critical prefixes; the stable sort makes ties
+		// resolve by fanin declaration order, deterministically.
+		sort.SliceStable(cand, func(x, y int) bool { return cand[x].acc > cand[y].acc })
+		if len(cand) > k {
+			cand = cand[:k]
 		}
-		for _, f := range g.Fanout {
-			heap.Push(h, &state{gate: f, acc: s.acc + a.FoEff[f], bound: s.acc + a.Down[f], parent: s})
+		listStart[id] = int32(len(listIdx))
+		for _, r := range cand {
+			arena = append(arena, r)
+			listIdx = append(listIdx, int32(len(arena)-1))
+		}
+		listEnd[id] = int32(len(listIdx))
+	}
+	// Complete paths end at primary outputs and at fanout-free gates.
+	for _, id := range cs.Order {
+		if !cs.IsLogic[id] {
+			continue
+		}
+		if a.isPO[id] || cs.NumFanout(id) == 0 {
+			ends = append(ends, listIdx[listStart[id]:listEnd[id]]...)
 		}
 	}
-	return out
-}
-
-// state is a partial (or, when ended, complete) path in the best-first
-// enumeration. parent links reconstruct the gate sequence.
-type state struct {
-	gate   int
-	acc    int // criticality of the prefix, inclusive of gate
-	bound  int // upper bound on any completion's criticality
-	ended  bool
-	parent *state
-}
-
-func (s *state) path() []int {
-	var rev []int
-	cur := s
-	if cur.ended {
-		cur = cur.parent
+	sort.SliceStable(ends, func(x, y int) bool {
+		return arena[ends[x]].acc > arena[ends[y]].acc
+	})
+	if len(ends) > k {
+		ends = ends[:k]
 	}
-	for ; cur != nil; cur = cur.parent {
-		rev = append(rev, cur.gate)
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
-}
-
-type stateHeap struct{ states []*state }
-
-func (h *stateHeap) Len() int           { return len(h.states) }
-func (h *stateHeap) Less(i, j int) bool { return h.states[i].bound > h.states[j].bound }
-func (h *stateHeap) Swap(i, j int)      { h.states[i], h.states[j] = h.states[j], h.states[i] }
-func (h *stateHeap) Push(x any)         { h.states = append(h.states, x.(*state)) }
-func (h *stateHeap) Pop() any {
-	old := h.states
-	n := len(old)
-	s := old[n-1]
-	h.states = old[:n-1]
-	return s
+	return arena, ends
 }
