@@ -4,9 +4,13 @@
 //	    Parse `go test -bench` text output into a manifest JSON
 //	    (schema cmosopt/manifest/v1, Benchmarks populated).
 //
-//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 1.25]
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 1.25] [-filter regex]
 //	    Compare a run against the committed baseline; exit 1 when any
 //	    benchmark is more than threshold× slower, or vanished entirely.
+//	    -filter restricts both sides to matching names, so one baseline
+//	    file can hold several suites (go-bench records and loadgen latency
+//	    records) gated by different CI jobs without tripping each other's
+//	    vanished-benchmark check.
 //
 //	benchdiff -selftest
 //	    Verify the gate itself: a synthetic 2× slowdown must fail, a
@@ -20,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 
 	"cmosopt/internal/cli"
 	"cmosopt/internal/obs"
@@ -34,6 +39,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline manifest JSON to compare against")
 	current := flag.String("current", "", "current-run manifest JSON to compare")
 	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	filter := flag.String("filter", "", "compare only benchmarks whose name matches this regexp")
 	selftest := flag.Bool("selftest", false, "verify the gate catches a 2x slowdown and passes a 1.1x one")
 	flag.Parse()
 
@@ -48,7 +54,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		failed, err := runCompare(*baseline, *current, *threshold)
+		failed, err := runCompare(*baseline, *current, *threshold, *filter)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +95,7 @@ func runParse(path, out string) error {
 	return man.WriteFile(out)
 }
 
-func runCompare(baselinePath, currentPath string, threshold float64) (int, error) {
+func runCompare(baselinePath, currentPath string, threshold float64, filter string) (int, error) {
 	base, err := obs.ReadManifest(baselinePath)
 	if err != nil {
 		return 0, err
@@ -98,11 +104,30 @@ func runCompare(baselinePath, currentPath string, threshold float64) (int, error
 	if err != nil {
 		return 0, err
 	}
-	if len(base.Benchmarks) == 0 {
-		return 0, fmt.Errorf("%s has no benchmarks", baselinePath)
+	baseRecs, curRecs := base.Benchmarks, cur.Benchmarks
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return 0, fmt.Errorf("bad -filter: %w", err)
+		}
+		baseRecs, curRecs = filterRecords(baseRecs, re), filterRecords(curRecs, re)
 	}
-	deltas := cli.CompareBench(base.Benchmarks, cur.Benchmarks, threshold)
+	if len(baseRecs) == 0 {
+		return 0, fmt.Errorf("%s has no benchmarks matching the comparison", baselinePath)
+	}
+	deltas := cli.CompareBench(baseRecs, curRecs, threshold)
 	return cli.RenderBenchDeltas(os.Stdout, deltas), nil
+}
+
+// filterRecords keeps the records whose name matches re, in order.
+func filterRecords(recs []obs.BenchRecord, re *regexp.Regexp) []obs.BenchRecord {
+	out := make([]obs.BenchRecord, 0, len(recs))
+	for _, r := range recs {
+		if re.MatchString(r.Name) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // runSelftest exercises the gate with synthetic data so CI proves the
@@ -150,6 +175,19 @@ func runSelftest(threshold float64) error {
 	}
 	if n := countFailed(cli.CompareBench(memBase, withAllocs(2), threshold)); n != 0 {
 		return fmt.Errorf("selftest: warm-up-sized allocation count flagged %d entries, want 0", n)
+	}
+
+	// Filter gate: one baseline file holds both the go-bench suite and the
+	// loadgen latency suite; a run carrying only one suite must pass under
+	// its own filter and still trip the vanished-benchmark check without it.
+	mixed := append(append([]obs.BenchRecord{}, base...),
+		obs.BenchRecord{Name: "Loadgen/sweep/p50", NsPerOp: 2e7})
+	re := regexp.MustCompile("^Benchmark")
+	if n := countFailed(cli.CompareBench(filterRecords(mixed, re), filterRecords(base, re), threshold)); n != 0 {
+		return fmt.Errorf("selftest: suite filter flagged %d entries, want 0", n)
+	}
+	if n := countFailed(cli.CompareBench(mixed, base, threshold)); n != 1 {
+		return fmt.Errorf("selftest: unfiltered mixed baseline flagged %d entries, want 1 missing", n)
 	}
 	return nil
 }

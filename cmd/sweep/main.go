@@ -5,129 +5,25 @@
 // reports the energy-delay-product optimal operating point (the metric of
 // the paper's reference [2], for designs with no hard clock target).
 //
+// The implementation lives in internal/cli so the optimization server and
+// the load generator run the identical study (and render identical bytes).
+//
 // Usage:
 //
 //	sweep -circuit s298 [-from 5e7] [-to 6e8] [-points 8] [-format text|csv]
 package main
 
 import (
-	"flag"
-	"fmt"
 	"log"
-	"math"
 	"os"
 
 	"cmosopt/internal/cli"
-	"cmosopt/internal/core"
-	"cmosopt/internal/device"
-	"cmosopt/internal/netgen"
-	"cmosopt/internal/obs"
-	"cmosopt/internal/report"
-	"cmosopt/internal/wiring"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-
-	name := flag.String("circuit", "s298", "benchmark circuit")
-	from := flag.Float64("from", 50e6, "lowest clock target (Hz)")
-	to := flag.Float64("to", 600e6, "highest clock target (Hz)")
-	points := flag.Int("points", 8, "number of sweep points (log-spaced)")
-	act := flag.Float64("activity", 0.5, "input transition density per cycle")
-	format := flag.String("format", "text", "output format: text, csv")
-	workers := flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial; same output either way)")
-	var of cli.ObsFlags
-	of.Register(flag.CommandLine)
-	flag.Parse()
-
-	if *from <= 0 || *to <= *from || *points < 2 {
-		log.Fatalf("bad sweep range [%v, %v] x %d", *from, *to, *points)
-	}
-	if *workers < 0 {
-		log.Fatalf("bad worker count %d", *workers)
-	}
-	ct, err := netgen.Profile(*name)
-	if err != nil {
-		if ct, err = netgen.Profile85(*name); err != nil {
-			log.Fatal(err)
-		}
-	}
-	reg, err := of.Begin(os.Stderr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	spec := core.Spec{
-		Circuit:      ct,
-		Tech:         device.Default350(),
-		Wiring:       wiring.Default350(),
-		Fc:           *from, // per-point override below
-		Skew:         0.95,
-		InputProb:    0.5,
-		InputDensity: *act,
-		Obs:          reg,
-	}
-
-	// Log-spaced by exponent rather than by running product: fcs[i] =
-	// from·ratio^i has no accumulated rounding drift, so the last point lands
-	// exactly on -to.
-	fcs := make([]float64, *points)
-	ratio := *to / *from
-	for i := range fcs {
-		fcs[i] = *from * math.Pow(ratio, float64(i)/float64(*points-1))
-	}
-	fcs[*points-1] = *to
-
-	opts := core.DefaultOptions()
-	opts.Workers = *workers
-	pts, best, err := core.EDPStudy(spec, fcs, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	t := &report.Table{
-		Title: fmt.Sprintf("clock sweep: %s (activity %.2f)", *name, *act),
-		Headers: []string{"fc (MHz)", "Vdd (V)", "Vt (V)", "Static E (J)",
-			"Dynamic E (J)", "Total E (J)", "EDP (J*s)", "note"},
-	}
-	for i, pt := range pts {
-		note := ""
-		if i == best {
-			note = "<- min EDP"
-		}
-		r := pt.Result
-		t.AddRow(
-			fmt.Sprintf("%.0f", pt.Fc/1e6),
-			fmt.Sprintf("%.2f", r.Vdd),
-			fmt.Sprintf("%.3f", r.VtsValues[0]),
-			report.Sci(r.Energy.Static),
-			report.Sci(r.Energy.Dynamic),
-			report.Sci(r.Energy.Total()),
-			report.Sci(pt.EDP),
-			note,
-		)
-	}
-	switch *format {
-	case "text":
-		err = t.Render(os.Stdout)
-	case "csv":
-		err = t.RenderCSV(os.Stdout)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	man := obs.NewManifest("sweep")
-	man.Circuit = ct.Name
-	man.Gates = ct.NumLogic()
-	man.Workers = *workers
-	for _, pt := range pts {
-		man.Results = append(man.Results,
-			cli.ResultRecord(fmt.Sprintf("fc=%.0fMHz", pt.Fc/1e6), pt.Fc, pt.Result))
-	}
-	if err := of.End(man, reg); err != nil {
+	if err := cli.Sweep(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

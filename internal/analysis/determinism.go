@@ -10,10 +10,12 @@ import (
 // byte-identical at any worker count. In the deterministic packages —
 // internal/core, internal/eval, internal/parallel, internal/optimize, plus
 // internal/netgen and internal/report whose outputs (generated circuits,
-// aggregated tables) are part of the same byte-identical guarantee, and
+// aggregated tables) are part of the same byte-identical guarantee,
 // internal/circuit and internal/timing, whose CSR core and levelized sweeps
-// every deterministic result is computed over — it flags, outside *_test.go
-// files:
+// every deterministic result is computed over, and internal/serve, whose
+// responses must be byte-identical to the offline tools' output (all
+// wall-clock measurement belongs to cmd/loadgen, outside the server) — it
+// flags, outside *_test.go files:
 //
 //   - time.Now / time.Since: wall-clock must never influence a result.
 //     Instrumentation sites that time work for obs histograms are the one
@@ -38,6 +40,7 @@ var Determinism = &Analyzer{
 var deterministicPkgs = []string{
 	"internal/core", "internal/eval", "internal/parallel", "internal/optimize",
 	"internal/netgen", "internal/report", "internal/circuit", "internal/timing",
+	"internal/serve",
 }
 
 // globalRandFuncs draw from math/rand's package-level source.

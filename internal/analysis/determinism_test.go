@@ -12,5 +12,6 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, td, analysis.Determinism,
 		"cmosopt/internal/core",  // positive + negative cases in scope
 		"cmosopt/internal/other", // negative: outside the deterministic scope
+		"cmosopt/internal/serve", // serving layer: clock reads flagged, ticker pacing allowed
 	)
 }

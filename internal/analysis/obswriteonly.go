@@ -7,7 +7,9 @@ import (
 
 // ObsWriteOnly enforces the PR 3 invariant: instrumentation never changes
 // optimizer outputs. Outside internal/obs itself, internal/cli (the tool
-// shim that freezes registries into manifests), cmd/* and *_test.go files:
+// shim that freezes registries into manifests), internal/serve (which
+// flattens per-job span snapshots into SSE progress events — serialization,
+// never control flow), cmd/* and *_test.go files:
 //
 //   - obs state may be written (Counter.Add/Set, Histogram.Observe,
 //     Span.Start, WorkerStat.Record, ...) but never read: calls to the read
@@ -37,7 +39,7 @@ var obsReadMethods = map[string]map[string]bool{
 
 // obsReadAllowed may read instrumentation state: the obs layer itself and
 // the tool layers that serialize it.
-var obsReadAllowed = []string{"internal/obs", "internal/cli"}
+var obsReadAllowed = []string{"internal/obs", "internal/cli", "internal/serve"}
 
 // flushAllowed may call eval.Engine.FlushObs: the engine, the core drivers
 // that own the primary engine, and the tool layers.

@@ -13,5 +13,6 @@ func TestObsWriteOnly(t *testing.T) {
 		"cmosopt/internal/badread", // positive: reads + stray FlushObs flagged
 		"cmosopt/internal/core",    // flush path allowed, worker-body flush flagged
 		"cmosopt/cmd/tool",         // negative: cmd/* may read
+		"cmosopt/internal/serve",   // negative: SSE serialization layer may read spans
 	)
 }

@@ -49,3 +49,18 @@ func (h *Histogram) Snapshot() HistogramSnapshot { return HistogramSnapshot{Coun
 
 // HistogramSnapshot is the frozen histogram state.
 type HistogramSnapshot struct{ Count int64 }
+
+// Span is one node of the hierarchical timing tree.
+type Span struct{}
+
+// Root returns the registry's root span.
+func (r *Registry) Root() *Span { return &Span{} }
+
+// Child returns a named child span (write-path API).
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+// Snapshot freezes the span subtree (read-path API).
+func (s *Span) Snapshot() SpanSnapshot { return SpanSnapshot{} }
+
+// SpanSnapshot is the frozen span state.
+type SpanSnapshot struct{ Count int64 }

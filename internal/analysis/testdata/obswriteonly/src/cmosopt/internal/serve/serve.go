@@ -1,0 +1,14 @@
+// Package serve (fixture): the negative case for the serving layer. serve
+// flattens per-job span snapshots into SSE progress events — a
+// serialization path like internal/cli, so the obs read API is allowed.
+package serve
+
+import "cmosopt/internal/obs"
+
+// Progress snapshots a job's span tree for the event stream.
+func Progress(reg *obs.Registry) int64 {
+	s := reg.Snapshot()                // ok: serve serializes obs state
+	_ = reg.Root().Snapshot()          // ok: span flattening for SSE frames
+	reg.Counter("serve.events").Add(1) // ok: writes are always allowed
+	return s.WallNS
+}

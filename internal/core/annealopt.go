@@ -96,7 +96,12 @@ func (p *Problem) OptimizeAnneal(opts AnnealOptions) (*Result, error) {
 	// Start from a safe high-drive corner (known feasible for any problem the
 	// baseline can solve).
 	init := annealState{a: design.Uniform(n, p.Tech.VddMax, p.Tech.VtsMax, 4)}
-	if _, _, err := optimize.Anneal(opts.AnnealConfig, init, score, neighbor); err != nil {
+	cfg := opts.AnnealConfig
+	cfg.Stop = func() bool { return p.ctx.Err() != nil }
+	if _, _, err := optimize.Anneal(cfg, init, score, neighbor); err != nil {
+		return nil, err
+	}
+	if err := p.Canceled(); err != nil {
 		return nil, err
 	}
 

@@ -43,6 +43,9 @@ func EDPStudy(spec Spec, fcs []float64, opts Options) ([]EDPPoint, int, error) {
 		warmCircuit(spec.Circuit)
 	}
 	parallel.For(w, len(fcs), func(_, i int) {
+		if spec.Ctx != nil && spec.Ctx.Err() != nil {
+			return // canceled: the post-loop Canceled check reports it
+		}
 		s := spec
 		s.Fc = fcs[i]
 		p, err := NewProblem(s)
@@ -52,10 +55,18 @@ func EDPStudy(spec Spec, fcs []float64, opts Options) ([]EDPPoint, int, error) {
 		}
 		res, err := p.OptimizeJoint(inner)
 		if err != nil {
+			// A canceled run must surface as cancellation, not masquerade as
+			// an infeasible clock target.
+			if cerr := p.Canceled(); cerr != nil {
+				slots[i].err = cerr
+			}
 			return // this clock target is infeasible; skip the sample
 		}
 		slots[i].res = res
 	})
+	if spec.Ctx != nil && spec.Ctx.Err() != nil {
+		return nil, -1, fmt.Errorf("core: EDP study canceled: %w", spec.Ctx.Err())
+	}
 	var out []EDPPoint
 	bestIdx := -1
 	bestEDP := math.Inf(1)

@@ -46,6 +46,7 @@ func (p *Problem) fork() *Problem {
 		logicIDs: p.logicIDs,
 		Eval:     p.Eval.Clone(),
 		otrace:   p.otrace,
+		ctx:      p.ctx,
 	}
 	np.sctx = &evalCtx{p: np, eng: np.Eval, trace: p.sctx.trace}
 	return np

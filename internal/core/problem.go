@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,6 +60,14 @@ type Spec struct {
 	// worker utilization for this problem and every optimizer run on it.
 	// Purely observational: attaching a registry never changes any result.
 	Obs *obs.Registry
+
+	// Ctx, when non-nil, bounds every optimizer run on the elaborated
+	// problem: the long bisection loops poll it between candidate
+	// evaluations and abort with a wrapped context error once it is
+	// canceled or past its deadline. A run that completes uncanceled is
+	// byte-identical to one with no context at all — the polls read, they
+	// never steer.
+	Ctx context.Context
 }
 
 // Problem is a fully elaborated optimization instance: combinational circuit,
@@ -75,9 +84,21 @@ type Problem struct {
 	Fc      float64
 	Skew    float64
 
-	logicIDs []int     // logic gate IDs in topological order (read-only)
-	sctx     *evalCtx  // the problem's own serial evaluation context
-	otrace   *obs.Span // root span of the attached registry (nil without one)
+	logicIDs []int           // logic gate IDs in topological order (read-only)
+	sctx     *evalCtx        // the problem's own serial evaluation context
+	otrace   *obs.Span       // root span of the attached registry (nil without one)
+	ctx      context.Context // cancellation bound (never nil; Background without one)
+}
+
+// Canceled reports whether the problem's context has been canceled or has
+// exceeded its deadline, wrapping the context error so callers can both
+// errors.Is it and read which optimizer gave up. Nil while the run may
+// continue.
+func (p *Problem) Canceled() error {
+	if err := p.ctx.Err(); err != nil {
+		return fmt.Errorf("core: optimization canceled: %w", err)
+	}
+	return nil
 }
 
 // span returns the named top-level span node for this problem's run — a
@@ -201,6 +222,10 @@ func NewProblem(s Spec) (*Problem, error) {
 		return nil, err
 	}
 	p.otrace = s.Obs.Root()
+	p.ctx = s.Ctx
+	if p.ctx == nil {
+		p.ctx = context.Background()
+	}
 	p.Eval.AttachObs(s.Obs)
 	p.sctx = &evalCtx{p: p, eng: p.Eval}
 	p.repairUnreachableBudgets()

@@ -199,6 +199,11 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 			return higher
 		}
 		for j := 0; j < opts.M; {
+			// Cancellation poll: between candidates, never inside one, so
+			// an uncanceled run takes the exact same steps.
+			if p.ctx.Err() != nil {
+				break
+			}
 			vts := vtsR.Mid()
 			if !speculate || j+1 >= opts.M {
 				e, a, ok := p.evalPoint(vdd, vts, &opts)
@@ -227,6 +232,9 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 	vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
 	prevVdd := math.Inf(1)
 	for i := 0; i < opts.M; i++ {
+		if p.ctx.Err() != nil {
+			break
+		}
 		vdd := vddR.Mid()
 		lvlT := lvl.Start()
 		e := evalVts(vdd)
@@ -241,6 +249,10 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 		if e < prevVdd {
 			prevVdd = e
 		}
+	}
+
+	if err := p.Canceled(); err != nil {
+		return nil, err
 	}
 
 	if opts.Refine && best.ok {
@@ -350,6 +362,9 @@ func (p *Problem) OptimizeBaseline(opts Options) (*Result, error) {
 		vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
 		prev := math.Inf(1)
 		for i := 0; i < opts.M; i++ {
+			if p.ctx.Err() != nil {
+				break
+			}
 			vdd := vddR.Mid()
 			e, a, ok := p.evalPoint(vdd, vt, &opts)
 			if ok && e < bestE {
@@ -364,6 +379,9 @@ func (p *Problem) OptimizeBaseline(opts Options) (*Result, error) {
 				prev = e
 			}
 		}
+	}
+	if err := p.Canceled(); err != nil {
+		return nil, err
 	}
 	if bestA == nil {
 		return nil, fmt.Errorf("core: no feasible baseline design for %q at fc=%v with Vt=%v", p.C.Name, p.Fc, vt)

@@ -1,0 +1,56 @@
+package obs
+
+// FlatSpan is one node of a span tree flattened to a slash-joined path —
+// the event-stream form of a snapshot. A progress consumer (the serve
+// layer's SSE endpoint) diffs successive flattenings by Path and forwards
+// only the nodes whose Count or DurationNS advanced, so a client watching a
+// long optimization sees "optimize.joint/vdd-level/point: 96 × 312ms" tick
+// upwards without ever receiving the whole tree twice.
+type FlatSpan struct {
+	Path       string `json:"path"`
+	Count      int64  `json:"count"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// Flatten walks the snapshot depth-first (children keep first-seen order,
+// which follows program phase order) and emits one FlatSpan per node. The
+// root node's own name starts the path.
+func (s *SpanSnapshot) Flatten() []FlatSpan {
+	if s == nil {
+		return nil
+	}
+	out := make([]FlatSpan, 0, 16)
+	var walk func(prefix string, n *SpanSnapshot)
+	walk = func(prefix string, n *SpanSnapshot) {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "/" + n.Name
+		}
+		out = append(out, FlatSpan{Path: path, Count: n.Count, DurationNS: n.DurationNS})
+		for i := range n.Children {
+			walk(path, &n.Children[i])
+		}
+	}
+	walk("", s)
+	return out
+}
+
+// DiffFlat returns the entries of cur that are new or advanced relative to
+// prev (matched by Path). prev may be nil for the first emission; the result
+// keeps cur's order, so repeated diffs stream a stable narrative.
+func DiffFlat(prev, cur []FlatSpan) []FlatSpan {
+	if len(prev) == 0 {
+		return cur
+	}
+	seen := make(map[string]FlatSpan, len(prev))
+	for _, f := range prev {
+		seen[f.Path] = f
+	}
+	var out []FlatSpan
+	for _, f := range cur {
+		if p, ok := seen[f.Path]; !ok || p.Count != f.Count || p.DurationNS != f.DurationNS {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFlatten(t *testing.T) {
+	root := newSpan("run")
+	opt := root.Child("optimize.joint")
+	opt.Start().Stop()
+	lvl := opt.Child("vdd-level")
+	for i := 0; i < 3; i++ {
+		lvl.Start().Stop()
+	}
+	root.Child("report").Start().Stop()
+
+	snap := root.Snapshot()
+	flat := snap.Flatten()
+
+	paths := make([]string, len(flat))
+	for i, f := range flat {
+		paths[i] = f.Path
+	}
+	want := []string{"run", "run/optimize.joint", "run/optimize.joint/vdd-level", "run/report"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	if flat[2].Count != 3 {
+		t.Fatalf("vdd-level count = %d, want 3", flat[2].Count)
+	}
+}
+
+func TestFlattenNil(t *testing.T) {
+	var s *SpanSnapshot
+	if got := s.Flatten(); got != nil {
+		t.Fatalf("nil snapshot flatten = %v, want nil", got)
+	}
+}
+
+func TestDiffFlat(t *testing.T) {
+	prev := []FlatSpan{
+		{Path: "run", Count: 1, DurationNS: 10},
+		{Path: "run/a", Count: 2, DurationNS: 5},
+	}
+	cur := []FlatSpan{
+		{Path: "run", Count: 1, DurationNS: 10},  // unchanged: dropped
+		{Path: "run/a", Count: 3, DurationNS: 9}, // advanced: kept
+		{Path: "run/b", Count: 1, DurationNS: 1}, // new: kept
+	}
+	got := DiffFlat(prev, cur)
+	want := []FlatSpan{cur[1], cur[2]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diff = %v, want %v", got, want)
+	}
+	// First emission: everything.
+	if got := DiffFlat(nil, cur); !reflect.DeepEqual(got, cur) {
+		t.Fatalf("first diff = %v, want all of cur", got)
+	}
+}

@@ -15,6 +15,11 @@ type AnnealConfig struct {
 	T0           float64 // initial temperature (energy units)
 	TFinal       float64 // final temperature (> 0)
 	Seed         int64
+	// Stop, when non-nil, is polled between Metropolis steps; once it
+	// returns true the walk abandons the remaining schedule and returns the
+	// incumbent. Used to propagate job cancellation into the annealing loop;
+	// a walk that never observes Stop()==true is unaffected by it.
+	Stop func() bool
 }
 
 // DefaultAnnealConfig returns a schedule sized for the benchmark circuits.
@@ -51,6 +56,9 @@ func Anneal[S any](cfg AnnealConfig, init S, energy func(S) float64, neighbor fu
 		cur, curE := best, bestE
 		temp := cfg.T0
 		for step := 0; step < cfg.StepsPerPass; step++ {
+			if cfg.Stop != nil && cfg.Stop() {
+				return best, bestE, nil
+			}
 			cand := neighbor(cur, rng)
 			candE := energy(cand)
 			if accept(curE, candE, temp, rng) {

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a bounded, concurrency-safe least-recently-used map. It backs both
+// the content-addressed result cache and the uploaded-netlist store: under
+// heavy traffic both must hold their hottest entries and shed the rest, or
+// the server's memory grows with its uptime.
+type lru[V any] struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lru[V] {
+	return &lru[V]{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the value and promotes the entry.
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry[V]).val, true
+}
+
+// put inserts or refreshes an entry, evicting the coldest beyond capacity.
+func (c *lru[V]) put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// len returns the live entry count.
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmosopt/internal/cli"
+	"cmosopt/internal/device"
+	"cmosopt/internal/obs"
+)
+
+const c17Bench = `# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// newTestServer stands a server up behind httptest and returns a client
+// aimed at it. Cleanup shuts both down.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	})
+	return s, &Client{BaseURL: ts.URL}
+}
+
+// gatedRunner blocks every job until released (or its context ends), so
+// tests control queue occupancy exactly instead of racing real work.
+type gatedRunner struct {
+	started chan struct{} // one receive per job that reached the runner
+	release chan struct{} // close to let all blocked jobs finish
+	runs    atomic.Int64
+}
+
+func newGatedRunner() *gatedRunner {
+	return &gatedRunner{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gatedRunner) run(ctx context.Context, req *Request, workers int, reg *obs.Registry) (*Result, error) {
+	n := g.runs.Add(1)
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+		return &Result{Output: fmt.Sprintf("run %d\n", n)}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gatedRunner) waitStart(t *testing.T) {
+	t.Helper()
+	select {
+	case <-g.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no job reached the runner")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: newGatedRunner().run})
+	if !c.Healthy(context.Background()) {
+		t.Error("healthz not ok")
+	}
+}
+
+// Admission control: with one executor busy and the queue full, the next
+// submission is rejected with 429 + Retry-After; once the queue drains the
+// same request is accepted again.
+func TestAdmissionQueueFullThenDrain(t *testing.T) {
+	g := newGatedRunner()
+	_, c := newTestServer(t, Config{Executors: 1, QueueDepth: 1, Runner: g.run})
+	ctx := context.Background()
+
+	// NoCache keeps every submission independent of the others.
+	req := func() *Request { return &Request{Circuit: "s27", NoCache: true} }
+
+	a, err := c.Submit(ctx, req())
+	if err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	g.waitStart(t) // a occupies the sole executor
+	b, err := c.Submit(ctx, req())
+	if err != nil {
+		t.Fatalf("submit b: %v", err) // b occupies the sole queue slot
+	}
+
+	_, err = c.Submit(ctx, req())
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("third submit: err = %v, want QueueFullError", err)
+	}
+	if qf.RetryAfter < 1 {
+		t.Errorf("Retry-After = %d, want >= 1", qf.RetryAfter)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 1 || st.Accepted != 2 || st.QueueDepth != 1 || st.QueueCap != 1 {
+		t.Errorf("stats after rejection: %+v", st)
+	}
+
+	// Drain: release the gate, wait for both jobs, then submit again.
+	close(g.release)
+	for _, id := range []string{a.ID, b.ID} {
+		fin, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if fin.State != StateDone {
+			t.Errorf("job %s state = %s, want done", id, fin.State)
+		}
+	}
+	d, err := c.SubmitWait(ctx, req())
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if d.State != StateDone {
+		t.Errorf("post-drain job state = %s, want done", d.State)
+	}
+}
+
+// Cancellation: a queued job resolves to canceled immediately; a running
+// job's context is canceled and the executor records the abort.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	g := newGatedRunner()
+	_, c := newTestServer(t, Config{Executors: 1, QueueDepth: 2, Runner: g.run})
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, &Request{Circuit: "s27", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStart(t)
+	queued, err := c.Submit(ctx, &Request{Circuit: "c17", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("queued job after cancel: state = %s, want canceled immediately", st.State)
+	}
+
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCanceled || fin.Error == "" {
+		t.Errorf("running job after cancel: %+v", fin)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Canceled != 2 {
+		t.Errorf("canceled count = %d, want 2", stats.Canceled)
+	}
+}
+
+// A request-level deadline cancels the job without any client action.
+func TestRequestDeadline(t *testing.T) {
+	g := newGatedRunner() // never released: only the deadline can end the job
+	_, c := newTestServer(t, Config{Runner: g.run})
+	fin, err := c.SubmitWait(context.Background(),
+		&Request{Circuit: "s27", NoCache: true, TimeoutMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCanceled {
+		t.Errorf("deadline job state = %s, want canceled", fin.State)
+	}
+}
+
+// Cache keying end to end: an identical request is a hit (runner not
+// invoked), a different constraint is a miss, nocache bypasses entirely.
+func TestResultCacheHitMissKeying(t *testing.T) {
+	g := newGatedRunner()
+	close(g.release) // run everything straight through
+	_, c := newTestServer(t, Config{Runner: g.run})
+	ctx := context.Background()
+
+	first, err := c.SubmitWait(ctx, &Request{Circuit: "s27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.State != StateDone {
+		t.Fatalf("first request: %+v", first)
+	}
+
+	// Same job with defaults spelled out: must hit, byte-identically.
+	hit, err := c.SubmitWait(ctx, &Request{Circuit: "s27", Mode: "joint", FcHz: 300e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Result == nil || hit.Result.Output != first.Result.Output {
+		t.Errorf("identical request missed or diverged: %+v", hit)
+	}
+	if got := g.runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1 (cache hit)", got)
+	}
+
+	// A different constraint is a different key.
+	miss, err := c.SubmitWait(ctx, &Request{Circuit: "s27", FcHz: 200e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Cached {
+		t.Error("different fc_hz hit the cache")
+	}
+
+	// nocache bypasses both lookup and insert.
+	bypass, err := c.SubmitWait(ctx, &Request{Circuit: "s27", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bypass.Cached || bypass.Key != "" {
+		t.Errorf("nocache request touched the cache: %+v", bypass)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.CacheMiss != 2 {
+		t.Errorf("cache counters: %+v", st)
+	}
+}
+
+// A canceled run must never populate the cache: the follow-up identical
+// request re-runs and serves the complete result.
+func TestCanceledRunNotCached(t *testing.T) {
+	g := newGatedRunner()
+	_, c := newTestServer(t, Config{Runner: g.run})
+	ctx := context.Background()
+
+	a, err := c.Submit(ctx, &Request{Circuit: "s27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStart(t)
+	if _, err := c.Cancel(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Wait(ctx, a.ID); err != nil || fin.State != StateCanceled {
+		t.Fatalf("canceled job: %+v, %v", fin, err)
+	}
+
+	close(g.release)
+	b, err := c.SubmitWait(ctx, &Request{Circuit: "s27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Error("follow-up after canceled run hit the cache")
+	}
+	if b.State != StateDone || b.Result == nil {
+		t.Errorf("follow-up: %+v", b)
+	}
+}
+
+// The real pipeline end to end: a served sweep must render byte-identically
+// to the offline cli helpers for the same request, and a cancel-then-retry
+// sequence must not perturb that (engine scratch is per-job).
+func TestServedSweepByteIdenticalToOffline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real optimizer")
+	}
+	_, c := newTestServer(t, Config{}) // DefaultRunner
+	ctx := context.Background()
+
+	req := func() *Request {
+		return &Request{Kind: KindSweep, Circuit: "s27", FromHz: 100e6, ToHz: 300e6, Points: 3, Format: "csv"}
+	}
+
+	// Offline reference through the exact cli path cmd/sweep uses.
+	params := cli.SweepParams{Circuit: "s27", FromHz: 100e6, ToHz: 300e6, Points: 3, Activity: 0.5, Workers: 1}
+	ct, pts, best, err := cli.RunSweep(params, device.Default350(), obs.NewRegistry(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offline bytes.Buffer
+	if err := cli.RenderSweep(&offline, "csv", cli.SweepTable(ct.Name, 0.5, pts, best)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First a canceled attempt (cancellation must leave no residue), then
+	// the served run, then a cache hit — all three must agree bytewise.
+	early, err := c.Submit(ctx, req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, early.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, early.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	served, err := c.SubmitWait(ctx, req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.State != StateDone {
+		t.Fatalf("served sweep: %+v", served)
+	}
+	if served.Result.Output != offline.String() {
+		t.Errorf("served output diverges from offline:\n-- served --\n%s-- offline --\n%s",
+			served.Result.Output, offline.String())
+	}
+	if served.Result.Manifest == nil || served.Result.Manifest.Schema != obs.SchemaVersion {
+		t.Errorf("served manifest missing or unversioned: %+v", served.Result.Manifest)
+	}
+
+	again, err := c.SubmitWait(ctx, req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Result.Output != offline.String() {
+		t.Errorf("cache replay diverges (cached=%v)", again.Cached)
+	}
+}
+
+// An uploaded netlist is addressable by hash and optimizable.
+func TestNetlistUploadAndOptimize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real optimizer")
+	}
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	hash, err := c.UploadNetlist(ctx, c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != HashNetlist(c17Bench) {
+		t.Errorf("upload hash %s != content hash", hash)
+	}
+
+	fin, err := c.SubmitWait(ctx, &Request{NetlistSHA256: hash, FcHz: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Result == nil || fin.Result.Output == "" {
+		t.Fatalf("optimize uploaded netlist: %+v", fin)
+	}
+
+	// Inline submission of the same text shares the cache entry.
+	inline, err := c.SubmitWait(ctx, &Request{Bench: c17Bench, FcHz: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inline.Cached || inline.Result.Output != fin.Result.Output {
+		t.Errorf("inline netlist did not hit the uploaded entry (cached=%v)", inline.Cached)
+	}
+}
+
+func TestNetlistUploadRejectsGarbage(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: newGatedRunner().run})
+	if _, err := c.UploadNetlist(context.Background(), "this is not a netlist"); err == nil {
+		t.Error("garbage upload accepted")
+	}
+}
+
+func TestSubmitUnknownNetlistHash(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: newGatedRunner().run})
+	_, err := c.Submit(context.Background(),
+		&Request{NetlistSHA256: HashNetlist("never uploaded")})
+	if err == nil {
+		t.Error("submit with unknown netlist hash accepted")
+	}
+}
+
+// SSE: the event stream delivers progress frames built from the job's span
+// tree and a terminal done frame carrying the full status.
+func TestEventsStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real optimizer")
+	}
+	_, c := newTestServer(t, Config{ProgressInterval: 5 * time.Millisecond})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, &Request{Circuit: "s27", FcHz: 100e6, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress int
+	var done JobStatus
+	err = c.Events(ctx, sub.ID, func(ev Event) bool {
+		switch ev.Name {
+		case "progress":
+			var spans []obs.FlatSpan
+			if err := json.Unmarshal(ev.Data, &spans); err != nil {
+				t.Errorf("progress payload: %v", err)
+			}
+			progress += len(spans)
+		case "done":
+			if err := json.Unmarshal(ev.Data, &done); err != nil {
+				t.Errorf("done payload: %v", err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Error("no span progress delivered before done")
+	}
+	if done.State != StateDone || done.Result == nil {
+		t.Errorf("done frame: %+v", done)
+	}
+}
+
+// Shutdown cancels running and queued jobs and refuses new submissions.
+func TestShutdown(t *testing.T) {
+	g := newGatedRunner()
+	s := New(Config{Executors: 1, QueueDepth: 4, Runner: g.run})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, &Request{Circuit: "s27", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStart(t)
+	queued, err := c.Submit(ctx, &Request{Circuit: "c17", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		j, ok := s.jobByID(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st := j.status(); st.State != StateCanceled {
+			t.Errorf("job %s after shutdown: state = %s, want canceled", id, st.State)
+		}
+	}
+	if _, err := c.Submit(ctx, &Request{Circuit: "s27"}); err == nil {
+		t.Error("submission accepted after shutdown")
+	}
+}
+
+// Bounded retention forgets the oldest terminal jobs but never a live one.
+func TestJobRetention(t *testing.T) {
+	g := newGatedRunner()
+	close(g.release)
+	s, c := newTestServer(t, Config{RetainJobs: 3, Runner: g.run})
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := c.SubmitWait(ctx, &Request{Circuit: "s27", NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if got := s.stats().Retained; got != 3 {
+		t.Errorf("retained = %d, want 3", got)
+	}
+	if _, ok := s.jobByID(ids[0]); ok {
+		t.Error("oldest job still addressable past the retention bound")
+	}
+	if _, ok := s.jobByID(ids[4]); !ok {
+		t.Error("newest job evicted")
+	}
+}

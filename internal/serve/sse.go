@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cmosopt/internal/obs"
+)
+
+// handleEvents streams a job's progress as server-sent events. Each
+// "progress" event carries the span-tree entries that are new or advanced
+// since the previous event (obs.DiffFlat over flattened snapshots), so a
+// client watching a million-gate sweep sees phases light up as the
+// optimizer reaches them. A final "done" event carries the terminal
+// JobStatus, then the stream closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &apiError{status: http.StatusInternalServerError, msg: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// A ticker paces the snapshot polls; the snapshots themselves carry no
+	// wall-clock reads of ours — durations come from the obs layer.
+	tick := time.NewTicker(s.cfg.ProgressInterval)
+	defer tick.Stop()
+
+	var prev []obs.FlatSpan
+	emit := func() {
+		snap := j.reg.Root().Snapshot()
+		cur := snap.Flatten()
+		if delta := obs.DiffFlat(prev, cur); len(delta) > 0 {
+			writeEvent(w, "progress", delta)
+			fl.Flush()
+		}
+		prev = cur
+	}
+	for {
+		select {
+		case <-j.done:
+			emit() // the final spans, so totals are never lost to timing
+			writeEvent(w, "done", j.status())
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return // viewer hung up; the job itself is unaffected
+		case <-tick.C:
+			emit()
+		}
+	}
+}
+
+// writeEvent renders one SSE frame. Payloads are single-line JSON, so the
+// data field never needs splitting.
+func writeEvent(w http.ResponseWriter, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(fmt.Sprintf("%q", "marshal: "+err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}
