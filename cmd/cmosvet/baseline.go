@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cmosopt/internal/analysis"
+)
+
+// Baseline suppression: a committed .cmosvet-baseline.json lets a newly
+// tightened analyzer land while known findings are burned down gradually.
+// An entry identifies a finding by (module-relative file, analyzer, exact
+// message) — no line numbers, so unrelated edits above a baselined finding
+// don't resurrect it, while any change to the finding itself (message text
+// embeds the names involved) does.
+//
+// The file is regenerated with -writebaseline and reviewed like any other
+// diff; an empty suppression list (the committed state of this repo) means
+// the tree is clean and the baseline only documents the mechanism.
+
+const (
+	baselineSchema = "cmosvet/baseline/v1"
+	baselineName   = ".cmosvet-baseline.json"
+)
+
+type baselineEntry struct {
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type baselineFile struct {
+	Schema       string          `json:"schema"`
+	Suppressions []baselineEntry `json:"suppressions"`
+}
+
+// baselinePathFor resolves the active baseline file: an explicit -baseline
+// flag wins, otherwise the module root's .cmosvet-baseline.json.
+func baselinePathFor(flagPath, modRoot string) string {
+	if flagPath != "" {
+		return flagPath
+	}
+	return filepath.Join(modRoot, baselineName)
+}
+
+// loadBaseline reads the suppression set; a missing file is an empty set,
+// anything unreadable or of the wrong schema is an error (a malformed
+// baseline silently suppressing nothing — or everything — must not pass).
+func loadBaseline(path string) (map[baselineEntry]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[baselineEntry]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Schema != baselineSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, baselineSchema)
+	}
+	set := make(map[baselineEntry]bool, len(f.Suppressions))
+	for _, e := range f.Suppressions {
+		set[e] = true
+	}
+	return set, nil
+}
+
+// baselineKey normalizes one diagnostic to its baseline identity.
+func baselineKey(modRoot string, d analysis.Diagnostic) baselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !isDotDot(rel) {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineEntry{File: file, Analyzer: d.Analyzer, Message: d.Message}
+}
+
+func isDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// filterBaseline splits findings into kept (to report) and suppressed.
+func filterBaseline(modRoot string, set map[baselineEntry]bool, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, suppressed int) {
+	for _, d := range diags {
+		if set[baselineKey(modRoot, d)] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// writeBaselineFile regenerates the baseline from the current findings,
+// sorted for a stable diff.
+func writeBaselineFile(path, modRoot string, diags []analysis.Diagnostic) error {
+	entries := make([]baselineEntry, 0, len(diags))
+	seen := map[baselineEntry]bool{}
+	for _, d := range diags {
+		e := baselineKey(modRoot, d)
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Schema: baselineSchema, Suppressions: entries}, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// jsonDiagnostic is the -json output row; file is printed exactly as the
+// human output would print it.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printDiagnostics emits the (already sorted) findings: JSON array on stdout
+// when jsonOut, conventional file:line:col lines on stderr otherwise.
+func printDiagnostics(diags []analysis.Diagnostic, jsonOut bool, rel func(string) string) {
+	if !jsonOut {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		return
+	}
+	rows := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		rows = append(rows, jsonDiagnostic{
+			File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	enc.Encode(rows)
+}

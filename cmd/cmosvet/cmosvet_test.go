@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmosopt/internal/analysis"
+)
+
+// chdirCanary moves into the seeded-violation canary module for the duration
+// of one test (standalone resolves the module from the working directory).
+func chdirCanary(t *testing.T) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("testdata", "canary")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	defer func() {
+		os.Stdout = old
+		w.Close()
+	}()
+	f()
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+// TestCanaryFailsStandalone is the in-repo half of the CI canary: the seeded
+// module must make cmosvet exit non-zero, proving the gate can still fail.
+func TestCanaryFailsStandalone(t *testing.T) {
+	chdirCanary(t)
+	if exit := standalone([]string{"./..."}, analysis.All(), runOptions{}); exit != 1 {
+		t.Fatalf("standalone over canary exited %d, want 1 (seeded violation must be found)", exit)
+	}
+}
+
+// TestCanarySeedsExactlyOneViolation pins the canary's shape through the
+// -json output: one finding, the right analyzer, module-relative path.
+func TestCanarySeedsExactlyOneViolation(t *testing.T) {
+	chdirCanary(t)
+	var exit int
+	out := captureStdout(t, func() {
+		exit = standalone([]string{"./..."}, analysis.All(), runOptions{jsonOut: true})
+	})
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	var rows []jsonDiagnostic
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("canary produced %d findings, want exactly 1: %+v", len(rows), rows)
+	}
+	d := rows[0]
+	if d.Analyzer != "floateq" {
+		t.Errorf("analyzer = %q, want floateq", d.Analyzer)
+	}
+	if filepath.ToSlash(d.File) != "internal/core/seeded.go" {
+		t.Errorf("file = %q, want internal/core/seeded.go", d.File)
+	}
+	if d.Line == 0 || d.Col == 0 || d.Message == "" {
+		t.Errorf("incomplete row: %+v", d)
+	}
+}
+
+// TestWriteBaselineSuppresses closes the burn-down loop: -writebaseline over
+// a dirty tree, then a plain run against that baseline, must be clean.
+func TestWriteBaselineSuppresses(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "baseline.json")
+	chdirCanary(t)
+	if exit := standalone([]string{"./..."}, analysis.All(), runOptions{baselinePath: bl, writeBaseline: true}); exit != 0 {
+		t.Fatalf("-writebaseline exited %d, want 0", exit)
+	}
+	set, err := loadBaseline(bl)
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+	want := baselineEntry{File: "internal/core/seeded.go", Analyzer: "floateq"}
+	found := false
+	for e := range set {
+		if e.File == want.File && e.Analyzer == want.Analyzer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("baseline %v lacks the canary entry", set)
+	}
+	if exit := standalone([]string{"./..."}, analysis.All(), runOptions{baselinePath: bl}); exit != 0 {
+		t.Fatalf("run against fresh baseline exited %d, want 0 (finding suppressed)", exit)
+	}
+}
+
+func TestLoadBaselineMissingIsEmpty(t *testing.T) {
+	set, err := loadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must read as empty, got error: %v", err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("missing baseline produced %d entries", len(set))
+	}
+}
+
+func TestLoadBaselineRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-json.json":    `{not json`,
+		"wrong-schema.json": `{"schema":"cmosvet/baseline/v999","suppressions":[]}`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadBaseline(p); err == nil {
+			t.Errorf("%s: loadBaseline accepted a malformed file", name)
+		}
+	}
+}
+
+// TestCommittedBaselineIsCleanAndValid: the repo's checked-in baseline must
+// parse under the current schema and stay empty — the tree itself is clean,
+// and any future suppression should arrive through a reviewed -writebaseline.
+func TestCommittedBaselineIsCleanAndValid(t *testing.T) {
+	root, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := loadBaseline(filepath.Join(root, baselineName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("committed baseline carries %d suppressions; the tree is supposed to be clean", len(set))
+	}
+}
+
+// TestBaselineRoundTripStable: write → load → write must be byte-identical,
+// so regenerating an unchanged tree never dirties the diff.
+func TestBaselineRoundTripStable(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "b1.json")
+	p2 := filepath.Join(dir, "b2.json")
+	diags := []analysis.Diagnostic{
+		{Pos: pos("b.go", 3, 1), Analyzer: "hotalloc", Message: "m2"},
+		{Pos: pos("a.go", 9, 4), Analyzer: "ctxpoll", Message: "m1"},
+		{Pos: pos("a.go", 9, 4), Analyzer: "ctxpoll", Message: "m1"}, // dup collapses
+	}
+	if err := writeBaselineFile(p1, dir, diags); err != nil {
+		t.Fatal(err)
+	}
+	set, err := loadBaseline(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("loaded %d entries, want 2 (duplicate collapsed)", len(set))
+	}
+	kept, suppressed := filterBaseline(dir, set, diags)
+	if len(kept) != 0 || suppressed != 3 {
+		t.Fatalf("filter over its own source: kept %d suppressed %d, want 0/3", len(kept), suppressed)
+	}
+	// Re-derive the file from the same findings in a different order.
+	reordered := []analysis.Diagnostic{diags[1], diags[2], diags[0]}
+	if err := writeBaselineFile(p2, dir, reordered); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Fatalf("baseline bytes depend on finding order:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func pos(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}

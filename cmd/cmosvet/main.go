@@ -1,6 +1,7 @@
 // Command cmosvet is the repository's invariant checker: a multichecker over
-// the four internal/analysis analyzers (evalroute, determinism,
-// obswriteonly, floateq). It runs two ways:
+// the internal/analysis analyzers — the syntactic four (evalroute,
+// determinism, obswriteonly, floateq) and the flow-aware four (hotalloc,
+// ctxpoll, locksafe, keypure). It runs two ways:
 //
 //	cmosvet ./...                         # standalone, over the module
 //	go vet -vettool=$(which cmosvet) ./... # as a vet tool (CI uses this)
@@ -8,7 +9,17 @@
 // As a vet tool it speaks cmd/go's unit-checker protocol — -V=full for the
 // build cache, -flags for the flag handshake, then one JSON config file per
 // package — implemented in unitchecker.go on the standard library alone
-// (golang.org/x/tools is deliberately not a dependency).
+// (golang.org/x/tools is deliberately not a dependency). Cross-package
+// function facts (hotpath, allocates, calls-eval, polls-ctx) ride the
+// protocol's vetx fact files; in standalone mode the loader computes them on
+// demand.
+//
+// Output is deterministic: diagnostics are merged across analyzers and
+// packages and sorted by (file, line, col, analyzer) before printing. -json
+// swaps the human lines for a JSON array on stdout (CI archives it as an
+// artifact). A committed .cmosvet-baseline.json (regenerated with
+// -writebaseline, overridden with -baseline) suppresses known findings so a
+// newly tightened analyzer can land before its backlog is burned down.
 //
 // Exit status: 0 clean, 1 diagnostics reported (2 in vet-tool mode, matching
 // unitchecker), 2 usage or internal error.
@@ -27,6 +38,14 @@ import (
 	"cmosopt/internal/analysis"
 )
 
+// runOptions carries the output-shaping flags shared by the standalone and
+// unit-checker drivers.
+type runOptions struct {
+	jsonOut       bool
+	baselinePath  string // "" = module root's .cmosvet-baseline.json
+	writeBaseline bool
+}
+
 func main() {
 	args := os.Args[1:]
 	// cmd/go handshakes before any real run: -V=full asks for a version
@@ -41,9 +60,13 @@ func main() {
 	}
 
 	fs := flag.NewFlagSet("cmosvet", flag.ExitOnError)
-	names := fs.String("analyzers", "all", "comma-separated analyzer subset (evalroute,determinism,obswriteonly,floateq) or \"all\"")
+	names := fs.String("analyzers", "all", "comma-separated analyzer subset (evalroute,determinism,obswriteonly,floateq,hotalloc,ctxpoll,locksafe,keypure) or \"all\"")
+	var opts runOptions
+	fs.BoolVar(&opts.jsonOut, "json", false, "emit diagnostics as a JSON array on stdout instead of text on stderr")
+	fs.StringVar(&opts.baselinePath, "baseline", "", "baseline suppression file (default: <module>/.cmosvet-baseline.json)")
+	fs.BoolVar(&opts.writeBaseline, "writebaseline", false, "regenerate the baseline file from the current findings and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cmosvet [-analyzers list] [./... | dir | package.cfg]\n")
+		fmt.Fprintf(os.Stderr, "usage: cmosvet [-analyzers list] [-json] [-baseline file] [-writebaseline] [./... | dir | package.cfg]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -57,12 +80,12 @@ func main() {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		os.Exit(unitcheck(rest[0], analyzers))
+		os.Exit(unitcheck(rest[0], analyzers, opts))
 	}
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	os.Exit(standalone(rest, analyzers))
+	os.Exit(standalone(rest, analyzers, opts))
 }
 
 // printVersion emits the tool identity cmd/go hashes into its build cache:
@@ -92,7 +115,8 @@ func binaryHash() string {
 }
 
 // printFlagDefs answers cmd/go's -flags handshake with the JSON flag
-// descriptors it validates user-supplied vet flags against.
+// descriptors it validates user-supplied vet flags against. Every flag the
+// FlagSet accepts must appear here or `go vet -vettool` rejects it.
 func printFlagDefs() {
 	type jsonFlag struct {
 		Name  string
@@ -101,6 +125,9 @@ func printFlagDefs() {
 	}
 	defs := []jsonFlag{
 		{Name: "analyzers", Bool: false, Usage: "comma-separated analyzer subset or \"all\""},
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON on stdout"},
+		{Name: "baseline", Bool: false, Usage: "baseline suppression file"},
+		{Name: "writebaseline", Bool: true, Usage: "regenerate the baseline file from current findings"},
 	}
 	data, err := json.MarshalIndent(defs, "", "\t")
 	if err != nil {

@@ -7,14 +7,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"cmosopt/internal/analysis"
 )
 
 // standalone walks the module from the current directory and runs the
-// analyzers over every matched package, printing diagnostics in the
-// conventional file:line:col form. Returns the process exit code.
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// analyzers over every matched package. Diagnostics are collected across all
+// packages and analyzers, merged, baseline-filtered and printed once in the
+// byte-stable (file, line, col, analyzer) order. Returns the process exit
+// code.
+//
+// Loading is sequential (the type-checker memoizes shared dependencies), but
+// the analyzers over each loaded package run concurrently — they only read
+// the package and go through the mutex-guarded fact provider.
+func standalone(patterns []string, analyzers []*analysis.Analyzer, opts runOptions) int {
 	modRoot, modPath, err := findModule(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
@@ -27,7 +34,9 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 	}
 	loader := analysis.NewLoader(analysis.Root{Prefix: modPath, Dir: modRoot})
 	loader.IncludeTests = true
+
 	exit := 0
+	var all []analysis.Diagnostic
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(modRoot, dir)
 		if err != nil {
@@ -44,22 +53,64 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 			exit = 2
 			continue
 		}
-		for _, a := range analyzers {
-			diags, err := analysis.Analyze(a, pkg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
-				exit = 2
-				continue
-			}
-			for _, d := range diags {
-				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-				if exit == 0 {
-					exit = 1
-				}
-			}
+		diags, errs := analyzePackage(loader, pkg, analyzers)
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			exit = 2
 		}
+		all = append(all, diags...)
+	}
+
+	bpath := baselinePathFor(opts.baselinePath, modRoot)
+	if opts.writeBaseline {
+		analysis.SortDiagnostics(all)
+		if err := writeBaselineFile(bpath, modRoot, all); err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "cmosvet: wrote %d suppression(s) to %s\n", len(all), relPath(bpath))
+		return exit
+	}
+	set, err := loadBaseline(bpath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return 2
+	}
+	kept, suppressed := filterBaseline(modRoot, set, all)
+	analysis.SortDiagnostics(kept)
+	printDiagnostics(kept, opts.jsonOut, relPath)
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "cmosvet: %d finding(s) suppressed by %s\n", suppressed, relPath(bpath))
+	}
+	if len(kept) > 0 && exit == 0 {
+		exit = 1
 	}
 	return exit
+}
+
+// analyzePackage runs the analyzers over one package concurrently and returns
+// their diagnostics (unsorted — the caller merges and sorts globally).
+func analyzePackage(loader *analysis.Loader, pkg *analysis.LoadedPackage, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, []error) {
+	diags := make([][]analysis.Diagnostic, len(analyzers))
+	errs := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *analysis.Analyzer) {
+			defer wg.Done()
+			diags[i], errs[i] = analysis.Analyze(a, pkg, loader)
+		}(i, a)
+	}
+	wg.Wait()
+	var out []analysis.Diagnostic
+	var outErrs []error
+	for i := range analyzers {
+		out = append(out, diags[i]...)
+		if errs[i] != nil {
+			outErrs = append(outErrs, errs[i])
+		}
+	}
+	return out, outErrs
 }
 
 func relPath(p string) string {
@@ -112,8 +163,9 @@ func modulePath(gomod string) (string, error) {
 }
 
 // matchDirs expands the command-line patterns into package directories.
-// "./..." (optionally rooted, e.g. "./internal/...") walks recursively;
-// anything else names a single directory.
+// "./..." (optionally rooted, e.g. "./internal/...") walks recursively via
+// analysis.PackageDirs — which skips hidden, underscore, testdata and vendor
+// trees — and anything else names a single directory.
 func matchDirs(modRoot string, patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var out []string
@@ -129,28 +181,16 @@ func matchDirs(modRoot string, patterns []string) ([]string, error) {
 			if base == "" || base == "." {
 				base = modRoot
 			}
-			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if !d.IsDir() {
-					return nil
-				}
-				name := d.Name()
-				if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-					return filepath.SkipDir
-				}
-				if hasGoFiles(p) {
-					abs, aerr := filepath.Abs(p)
-					if aerr != nil {
-						return aerr
-					}
-					add(abs)
-				}
-				return nil
-			})
+			dirs, err := analysis.PackageDirs(base)
 			if err != nil {
 				return nil, err
+			}
+			for _, d := range dirs {
+				abs, aerr := filepath.Abs(d)
+				if aerr != nil {
+					return nil, aerr
+				}
+				add(abs)
 			}
 			continue
 		}

@@ -1,0 +1,3 @@
+module canary
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package core carries one deliberately seeded cmosvet violation. The CI
+// canary step runs cmosvet over this module and requires a non-zero exit:
+// if the tool ever silently stops finding anything, the job fails loudly
+// instead of green-lighting a broken gate. Keep exactly one violation here
+// (TestCanarySeedsExactlyOneViolation pins it).
+package core
+
+// converged compares two computed floats exactly — the seeded floateq
+// violation. Do not "fix" this file.
+func converged(a, b float64) bool {
+	return a == b
+}
+
+var _ = converged

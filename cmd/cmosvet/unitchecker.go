@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"cmosopt/internal/analysis"
 )
@@ -37,7 +38,14 @@ type vetConfig struct {
 // unitcheck analyzes the single package described by cfgPath and returns the
 // process exit code: 0 clean, 2 diagnostics (the exit code go vet expects
 // from a unit checker), 1 on internal failure.
-func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+//
+// Facts: module packages get their function facts (hotpath / allocates /
+// calls-eval / polls-ctx) computed and serialized to VetxOutput, so cmd/go
+// caches them and re-feeds dependencies' facts through PackageVetx — that is
+// how hotalloc and ctxpoll see across package boundaries under `go vet`.
+// Packages outside the module (the standard library) carry empty facts and,
+// when VetxOnly, skip type-checking entirely.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer, opts runOptions) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
@@ -48,41 +56,114 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "cmosvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go caches and re-feeds the facts output of dependency packages;
-	// these analyzers are fact-free, so an empty placeholder satisfies the
-	// protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("cmosvet: no facts\n"), 0o666); err != nil {
+
+	modRoot, modPath, modErr := findModule(cfg.Dir)
+	inModule := modErr == nil && (cfg.ImportPath == modPath || strings.HasPrefix(cfg.ImportPath, modPath+"/"))
+
+	// Type-check when the package will be analyzed, or when it is a module
+	// dependency whose facts another package will need.
+	var checked *checkedPkg
+	if !cfg.VetxOnly || inModule {
+		checked, err = typecheck(&cfg)
+		if err != nil {
+			writeFactsFile(cfg.VetxOutput, nil)
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
 			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
 			return 1
 		}
+	}
+
+	var ownFacts analysis.PkgFacts
+	if inModule && checked != nil {
+		ownFacts = analysis.ComputePkgFacts(&analysis.LoadedPackage{
+			Path:  cfg.ImportPath,
+			Files: checked.files,
+			Types: checked.pkg,
+			Info:  checked.info,
+			Fset:  checked.fset,
+		})
+	}
+	if !writeFactsFile(cfg.VetxOutput, ownFacts) {
+		return 1
 	}
 	if cfg.VetxOnly {
 		return 0
 	}
 
-	checked, err := typecheck(&cfg)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
-		return 1
-	}
-
-	exit := 0
+	provider := newVetxProvider(&cfg, ownFacts)
+	var all []analysis.Diagnostic
 	for _, a := range analyzers {
 		pass := analysis.NewPass(a, checked.fset, checked.files, checked.pkg, checked.info)
+		pass.Facts = provider
 		if err := a.Run(pass); err != nil {
 			fmt.Fprintf(os.Stderr, "cmosvet: %s: %v\n", a.Name, err)
 			return 1
 		}
-		for _, d := range pass.Diagnostics() {
-			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			exit = 2
+		all = append(all, pass.Diagnostics()...)
+	}
+
+	// Baseline suppression applies under go vet too, so the CI gate and the
+	// standalone run agree on what counts as a finding.
+	if modErr == nil {
+		set, err := loadBaseline(baselinePathFor(opts.baselinePath, modRoot))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+			return 1
+		}
+		all, _ = filterBaseline(modRoot, set, all)
+	}
+	analysis.SortDiagnostics(all)
+	printDiagnostics(all, opts.jsonOut, func(p string) string { return p })
+	if len(all) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeFactsFile serializes the package's facts for cmd/go's vetx cache; a
+// nil map still writes a valid (empty) facts file so downstream decodes are
+// uniform. Reports success; failures are printed.
+func writeFactsFile(path string, facts analysis.PkgFacts) bool {
+	if path == "" {
+		return true
+	}
+	if err := os.WriteFile(path, analysis.EncodeFacts(facts), 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+		return false
+	}
+	return true
+}
+
+// vetxProvider resolves cross-package facts from the vetx files cmd/go
+// recorded for each dependency, plus the current package's own facts.
+type vetxProvider struct {
+	files map[string]string
+	own   string
+	facts map[string]analysis.PkgFacts
+}
+
+func newVetxProvider(cfg *vetConfig, ownFacts analysis.PkgFacts) *vetxProvider {
+	return &vetxProvider{
+		files: cfg.PackageVetx,
+		own:   cfg.ImportPath,
+		facts: map[string]analysis.PkgFacts{cfg.ImportPath: ownFacts},
+	}
+}
+
+func (p *vetxProvider) PackageFacts(path string) analysis.PkgFacts {
+	if f, ok := p.facts[path]; ok {
+		return f
+	}
+	var f analysis.PkgFacts
+	if file := p.files[path]; file != "" {
+		if data, err := os.ReadFile(file); err == nil {
+			f = analysis.DecodeFacts(data)
 		}
 	}
-	return exit
+	p.facts[path] = f
+	return f
 }
 
 func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {

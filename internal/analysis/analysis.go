@@ -13,6 +13,22 @@
 //   - floateq (floateq.go): no raw float ==/!= in bisection/convergence
 //     code; comparisons route through internal/floats.
 //
+// Four flow-aware analyzers reason over a per-function CFG (cfg.go), a
+// generic forward dataflow fixpoint (dataflow.go) and cross-package function
+// facts (facts.go):
+//
+//   - hotalloc (hotalloc.go): //cmosvet:hotpath functions contain no
+//     heap-allocating construct on any reachable path — the PR 6
+//     "zero-allocation levelized sweeps" invariant;
+//   - ctxpoll (ctxpoll.go): candidate loops that reach engine evaluation
+//     poll Spec.Ctx on every iteration path — the PR 8 cancellation
+//     invariant;
+//   - locksafe (locksafe.go): every sync.Mutex/RWMutex Lock is released on
+//     all exit paths, and no FlushObs/blocking send/engine evaluation runs
+//     under a held lock — the PR 2/PR 3 sharded-cache discipline;
+//   - keypure (keypure.go): execution controls never flow into the
+//     cmosopt/key/v1 cache key — the PR 8 content-addressing invariant.
+//
 // The x/tools module is deliberately not vendored (this module has zero
 // dependencies); the subset reimplemented here — Analyzer, Pass, Diagnostic,
 // an analysistest-style fixture runner (analysistest/) and the `go vet
@@ -26,9 +42,12 @@
 //
 //	//cmosvet:allow <analyzer> — <reason>
 //
-// on the flagged line or the line directly above it. The reason is
-// mandatory by convention (reviewed, not machine-checked): the allow
-// comment is the audit trail for why the invariant does not apply.
+// on the flagged line, or on its own line directly above the annotated
+// statement or declaration — in which case it binds to that node's source
+// span (a directive above a declaration covers exactly that declaration,
+// never the rest of the file). The reason is mandatory by convention
+// (reviewed, not machine-checked): the allow comment is the audit trail for
+// why the invariant does not apply.
 package analysis
 
 import (
@@ -56,6 +75,9 @@ type Pass struct {
 	Files     []*ast.File // package syntax, in file-name order
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts supplies cross-package function facts to the flow-aware
+	// analyzers; nil disables fact lookups (everything resolves unknown).
+	Facts FactProvider
 
 	diagnostics []Diagnostic
 	allow       map[string][]allowDirective // filename → directives
@@ -73,14 +95,16 @@ func (d Diagnostic) String() string {
 }
 
 type allowDirective struct {
-	line     int
+	line     int // the directive's own line (trailing-comment matches)
+	from, to int // the annotated node's line span (standalone directives)
 	analyzer string
 }
 
 var allowRx = regexp.MustCompile(`^//\s*cmosvet:allow\s+([a-z]+)`)
 
 // NewPass assembles a Pass and indexes the //cmosvet:allow directives of the
-// package's files.
+// package's files, binding each standalone directive to the span of the
+// statement or declaration it annotates (see bindAllowSpans).
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
 	p := &Pass{
 		Analyzer:  a,
@@ -91,6 +115,7 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		allow:     make(map[string][]allowDirective),
 	}
 	for _, f := range files {
+		var ds []allowDirective
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := allowRx.FindStringSubmatch(c.Text)
@@ -98,19 +123,86 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				p.allow[pos.Filename] = append(p.allow[pos.Filename], allowDirective{line: pos.Line, analyzer: m[1]})
+				ds = append(ds, allowDirective{line: pos.Line, analyzer: m[1]})
 			}
 		}
+		if len(ds) == 0 {
+			continue
+		}
+		bindAllowSpans(fset, f, ds)
+		name := fset.Position(f.Pos()).Filename
+		p.allow[name] = append(p.allow[name], ds...)
 	}
 	return p
 }
 
+// bindAllowSpans resolves each directive to the line span it suppresses. A
+// directive trailing code keeps matching its own line only. A directive on
+// its own line binds to the next statement/declaration below it — skipping
+// further comment lines, so stacked directives all reach the same node — and
+// covers that node's whole source span. This is what scopes an allow on a
+// declaration to exactly that declaration instead of leaking further down
+// the file. With nothing to bind to (end of file), the legacy
+// "line directly above" behavior remains.
+func bindAllowSpans(fset *token.FileSet, f *ast.File, ds []allowDirective) {
+	// Outermost node starting on each line (ast.Inspect is pre-order, so the
+	// first node seen for a line is the outermost) and its end line.
+	starts := map[int]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.File, *ast.CommentGroup, *ast.Comment:
+			// Comments are not anchors (a doc-comment line must not read as
+			// code, or a directive inside one would bind to itself).
+			return true
+		}
+		l := fset.Position(n.Pos()).Line
+		if _, seen := starts[l]; !seen {
+			starts[l] = fset.Position(n.End()).Line
+		}
+		return true
+	})
+	// Lines occupied by comments, so stacked directives skip over each other.
+	commentLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line; l++ {
+			commentLines[l] = true
+		}
+	}
+	lastLine := fset.Position(f.End()).Line
+	for i := range ds {
+		d := &ds[i]
+		d.from, d.to = d.line+1, d.line+1 // legacy fallback: line directly above
+		if _, codeHere := starts[d.line]; codeHere {
+			// Trailing comment: the node on this line may span many lines,
+			// but a trailing allow keeps its tight own-line scope.
+			d.from, d.to = d.line, d.line
+			continue
+		}
+		for l := d.line + 1; l <= lastLine; l++ {
+			if end, ok := starts[l]; ok {
+				d.from, d.to = l, end
+				break
+			}
+			if !commentLines[l] {
+				break // blank or non-anchoring line: directive dangles
+			}
+		}
+	}
+}
+
 // Reportf records a diagnostic at pos unless an allow directive for this
-// analyzer covers the line (same line, or the line directly above).
+// analyzer covers it: a directive on the same line, or one whose bound node
+// span contains the line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, d := range p.allow[position.Filename] {
-		if d.analyzer == p.Analyzer.Name && (d.line == position.Line || d.line == position.Line-1) {
+		if d.analyzer != p.Analyzer.Name {
+			continue
+		}
+		if d.line == position.Line || (position.Line >= d.from && position.Line <= d.to) {
 			return
 		}
 	}
@@ -121,24 +213,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostics returns the findings in position order.
+// Diagnostics returns the findings ordered by (file, line, column, analyzer)
+// — the byte-stable order every cmosvet output mode preserves.
 func (p *Pass) Diagnostics() []Diagnostic {
-	sort.Slice(p.diagnostics, func(i, j int) bool {
-		a, b := p.diagnostics[i].Pos, p.diagnostics[j].Pos
+	SortDiagnostics(p.diagnostics)
+	return p.diagnostics
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer, message)
+// so merged multi-analyzer output is byte-stable across runs and diff-able
+// in CI.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
 	})
-	return p.diagnostics
 }
 
 // All returns the cmosvet analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{EvalRoute, Determinism, ObsWriteOnly, FloatEq}
+	return []*Analyzer{EvalRoute, Determinism, ObsWriteOnly, FloatEq, HotAlloc, CtxPoll, LockSafe, KeyPure}
 }
 
 // ByName returns the named analyzers from the suite ("" or "all" → all).

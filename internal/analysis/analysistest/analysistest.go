@@ -41,7 +41,7 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
 			t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
 			continue
 		}
-		diags, err := analysis.Analyze(a, pkg)
+		diags, err := analysis.Analyze(a, pkg, loader)
 		if err != nil {
 			t.Errorf("%s: analyzing fixture %s: %v", a.Name, pkgPath, err)
 			continue

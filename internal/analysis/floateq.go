@@ -43,7 +43,7 @@ func runFloatEq(pass *Pass) error {
 			if !isFloatExpr(pass, be.X) || !isFloatExpr(pass, be.Y) {
 				return true
 			}
-			if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+			if isConstExpr(pass.TypesInfo, be.X) || isConstExpr(pass.TypesInfo, be.Y) {
 				return true // sentinel comparison against a literal/constant
 			}
 			pass.Reportf(be.Pos(),
@@ -61,9 +61,4 @@ func isFloatExpr(pass *Pass, e ast.Expr) bool {
 	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
-}
-
-func isConstExpr(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.Value != nil
 }

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// HotAlloc enforces the PR 6 invariant: the annotated hot path — the
+// levelized full/incremental sweeps, CSR level walks and dirty-set
+// operations that BenchmarkEngineFullEval proves run at 0 allocs/op — stays
+// allocation-free by construction, not only by benchmark.
+//
+// A function opts in with a //cmosvet:hotpath directive on its declaration.
+// Inside such a function, every reachable path (per the function's CFG;
+// statements after an unconditional return or panic are ignored) must avoid
+// the heap-allocating constructs listed at allocSites: make/new, slice and
+// map literals, address-taken composite literals, capturing closures,
+// non-constant string concatenation, and implicit interface boxing. Value
+// composite literals (Coeffs{...}) and append into preallocated scratch are
+// fine — see allocSites for the rationale.
+//
+// Calls out of a hotpath function are checked through cross-package facts:
+// a module-internal callee must either be hotpath-annotated itself (its own
+// body is then checked where it lives) or be allocation-free by direct
+// inspection. Calls into the standard library and through function values
+// resolve to no facts and pass — the benchmark allocation gate backstops
+// what the type system cannot see.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//cmosvet:hotpath functions must not heap-allocate on any reachable path",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		hotLines := directiveLines(pass.Fset, f, hotpathRx)
+		if len(hotLines) == 0 {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotpathMarked(pass.Fset, fd, hotLines) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	cfg := BuildCFG(fd.Body)
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			for _, site := range allocSites(n, pass.TypesInfo, pass.Pkg) {
+				pass.Reportf(site.pos, "%s in hotpath function %s allocates; hoist it out of the hot path or drop the //cmosvet:hotpath annotation", site.what, fd.Name.Name)
+			}
+			checkHotCalls(pass, fd, n)
+		}
+	}
+}
+
+// checkHotCalls verifies that resolvable callees of a hotpath function are
+// themselves hot-safe: hotpath-annotated, or allocation-free by direct
+// inspection (facts). Deferred and go'd calls run off the measured path and
+// are exempt.
+func checkHotCalls(pass *Pass, fd *ast.FuncDecl, n ast.Node) {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "panic" {
+			return false
+		}
+		path, key, ok := calleeRef(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		facts, known := pass.funcFact(path, key)
+		if !known || facts.Hotpath || !facts.Allocates {
+			return true
+		}
+		pass.Reportf(call.Pos(), "hotpath function %s calls %s, which allocates; mark the callee //cmosvet:hotpath (and fix it) or hoist the call", fd.Name.Name, key)
+		return true
+	})
+}

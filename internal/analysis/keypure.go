@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// KeyPure enforces the PR 8 content-addressing invariant: the result cache
+// key (schema cmosopt/key/v1) is a pure function of WHAT is computed — the
+// netlist, the normalized constraints, the tech overrides — and never of HOW
+// the server happens to execute it. Two users submitting the same problem
+// with different timeouts, worker counts or metrics flags must hit the same
+// cache line, and a canceled run's deadline must not shadow a complete
+// result.
+//
+// The analyzer does taint tracking inside internal/serve: execution-control
+// sources are the well-known control fields of the serving layer's structs
+// (TimeoutMS, NoCache, Workers, metrics/pprof addresses, queue tuning — see
+// execControlFields) plus anything of type context.Context. Taint flows
+// through assignments and expressions (a call with a tainted argument is
+// tainted). Sinks are the keyForm composite literal and field writes to a
+// keyForm value — the only paths into the sha256 that names a cache entry.
+var KeyPure = &Analyzer{
+	Name: "keypure",
+	Doc:  "execution controls must not flow into the cmosopt/key/v1 cache key",
+	Run:  runKeyPure,
+}
+
+// execControlFields are the struct field names that mean "how to run", not
+// "what to compute". The list is the contract: adding a control to Request
+// or the server config under one of these names is automatically kept out of
+// the key; a new control under a new name must be added here (reviewed with
+// the field).
+var execControlFields = map[string]bool{
+	"TimeoutMS": true, "NoCache": true, "Workers": true,
+	"Metrics": true, "Pprof": true, "MetricsAddr": true, "PprofAddr": true,
+	"Queue": true, "QueueLen": true, "MaxJobs": true, "Retention": true,
+	"Ctx": true,
+}
+
+func runKeyPure(pass *Pass) error {
+	if !pathIn(normalizePkgPath(pass.Pkg.Path()), "internal/serve") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.isTestFile(fd.Pos()) {
+				continue
+			}
+			checkKeyFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type taintState map[*types.Var]bool
+
+func checkKeyFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Pre-filter: only functions that mention keyForm can sink into the key.
+	if !mentionsKeyForm(pass, fd.Body) {
+		return
+	}
+	cfg := BuildCFG(fd.Body)
+
+	scanBlock := func(b *Block, in taintState, report bool) taintState {
+		tainted := make(taintState, len(in))
+		for v := range in {
+			tainted[v] = true
+		}
+		for _, n := range b.Nodes {
+			// Sinks first: report taint flowing into the key at this node.
+			if report {
+				reportKeySinks(pass, n, tainted)
+			}
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, lhs := range s.Lhs {
+						id, isID := lhs.(*ast.Ident)
+						if !isID {
+							continue
+						}
+						v := assignedVar(pass, id)
+						if v == nil {
+							continue
+						}
+						if exprTainted(pass, s.Rhs[i], tainted) {
+							tainted[v] = true
+						} else if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+							delete(tainted, v) // strong update
+						}
+					}
+				} else if len(s.Rhs) == 1 && exprTainted(pass, s.Rhs[0], tainted) {
+					for _, lhs := range s.Lhs {
+						if id, isID := lhs.(*ast.Ident); isID {
+							if v := assignedVar(pass, id); v != nil {
+								tainted[v] = true
+							}
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				gd, isGen := s.Decl.(*ast.GenDecl)
+				if !isGen {
+					break
+				}
+				for _, spec := range gd.Specs {
+					vs, isVS := spec.(*ast.ValueSpec)
+					if !isVS {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && exprTainted(pass, vs.Values[i], tainted) {
+							if v := assignedVar(pass, name); v != nil {
+								tainted[v] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return tainted
+	}
+	transfer := func(b *Block, in taintState) taintState { return scanBlock(b, in, false) }
+	meet := func(a, b taintState) taintState {
+		u := make(taintState, len(a)+len(b))
+		for v := range a {
+			u[v] = true
+		}
+		for v := range b {
+			u[v] = true
+		}
+		return u
+	}
+	eq := func(a, b taintState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for v := range a {
+			if !b[v] {
+				return false
+			}
+		}
+		return true
+	}
+	in, _ := Forward(cfg, taintState{}, transfer, meet, eq)
+	for _, b := range cfg.Blocks {
+		if state, reached := in[b]; reached {
+			scanBlock(b, state, true)
+		}
+	}
+}
+
+// reportKeySinks flags tainted expressions entering the cache key under node
+// n: keyForm literal elements and writes to keyForm fields.
+func reportKeySinks(pass *Pass, n ast.Node, tainted taintState) {
+	// Field write: k.F = tainted where k is a keyForm.
+	if as, isAssign := n.(*ast.AssignStmt); isAssign && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			sel, isSel := lhs.(*ast.SelectorExpr)
+			if !isSel || !isKeyFormType(pass, sel.X) {
+				continue
+			}
+			if why := taintReason(pass, as.Rhs[i], tainted); why != "" {
+				pass.Reportf(as.Rhs[i].Pos(), "execution control %s flows into cmosopt/key/v1 field %s; cache keys must identify the problem, not the run", why, sel.Sel.Name)
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		lit, isLit := c.(*ast.CompositeLit)
+		if !isLit || !isKeyFormLit(pass, lit) {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			value := elt
+			field := ""
+			if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+				value = kv.Value
+				if id, isID := kv.Key.(*ast.Ident); isID {
+					field = id.Name
+				}
+			}
+			if why := taintReason(pass, value, tainted); why != "" {
+				if field == "" {
+					field = "a positional element"
+				}
+				pass.Reportf(value.Pos(), "execution control %s flows into cmosopt/key/v1 field %s; cache keys must identify the problem, not the run", why, field)
+			}
+		}
+		return true
+	})
+}
+
+// taintReason returns a human-readable source description when the
+// expression carries execution-control taint, or "" when clean.
+func taintReason(pass *Pass, e ast.Expr, tainted taintState) string {
+	reason := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if isControlSource(pass, n) {
+				reason = types.ExprString(n)
+				return false
+			}
+		case *ast.Ident:
+			if v, isVar := pass.TypesInfo.Uses[n].(*types.Var); isVar {
+				if tainted[v] {
+					reason = n.Name
+					return false
+				}
+				if isCtxType(v.Type()) {
+					reason = n.Name + " (context.Context)"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+func exprTainted(pass *Pass, e ast.Expr, tainted taintState) bool {
+	return taintReason(pass, e, tainted) != ""
+}
+
+// isControlSource matches X.F where F is an execution-control field of a
+// serving-layer struct.
+func isControlSource(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !execControlFields[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return false
+	}
+	return pathHasSuffix(normalizePkgPath(named.Obj().Pkg().Path()), "internal/serve")
+}
+
+func isCtxType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+func assignedVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isKeyFormLit(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	return ok && isKeyFormT(tv.Type)
+}
+
+func isKeyFormType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isKeyFormT(tv.Type)
+}
+
+func isKeyFormT(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Name() == "keyForm"
+}
+
+// mentionsKeyForm pre-filters to functions that can reach the sink.
+func mentionsKeyForm(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, isID := n.(*ast.Ident); isID && id.Name == "keyForm" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

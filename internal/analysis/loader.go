@@ -8,10 +8,12 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Root maps an import-path prefix to the directory tree holding its source:
@@ -44,8 +46,10 @@ type Loader struct {
 	// (external "_test"-suffixed test packages are never loaded).
 	IncludeTests bool
 
-	std  types.ImporterFrom
-	pkgs map[string]*LoadedPackage
+	std     types.ImporterFrom
+	pkgs    map[string]*LoadedPackage
+	facts   map[string]PkgFacts
+	factsMu sync.Mutex
 }
 
 // NewLoader returns a Loader over the given roots.
@@ -157,11 +161,24 @@ func (l *Loader) loadDir(path, dir string) (*LoadedPackage, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	// Parse in parallel: token.FileSet is safe for concurrent AddFile, and
+	// parsing dominates load time once the standard library's type info is
+	// memoized. Order is preserved by index so file lists stay name-sorted.
+	parsed := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			parsed[i], errs[i] = parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		}(i, name)
+	}
+	wg.Wait()
 	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
+	for i, f := range parsed {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		// Never mix an external test package ("foo_test") into "foo".
 		if strings.HasSuffix(f.Name.Name, "_test") {
@@ -188,7 +205,9 @@ func (l *Loader) loadDir(path, dir string) (*LoadedPackage, error) {
 }
 
 // goFilesIn lists the buildable Go file names of one directory in stable
-// order.
+// order, applying the active build constraints (//go:build lines and
+// GOOS/GOARCH file suffixes) through go/build, so a linux-only loader never
+// parses file_windows.go.
 func goFilesIn(dir string, includeTests bool) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -203,15 +222,79 @@ func goFilesIn(dir string, includeTests bool) ([]string, error) {
 		if !includeTests && strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		if match, err := build.Default.MatchFile(dir, n); err != nil || !match {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names, nil
 }
 
-// Analyze runs one analyzer over one loaded package.
-func Analyze(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
+// PackageDirs walks root and returns every directory holding buildable Go
+// files, skipping hidden and underscore-prefixed directories, testdata
+// fixture trees and vendored source. This is the "./..." expansion shared by
+// the standalone cmd/cmosvet walker and the loader tests.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(p, true)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// PackageFacts implements FactProvider over the loader's packages, computing
+// and memoizing each package's facts on first request. Unknown paths (the
+// standard library, unresolvable fixtures) return nil. The method is
+// mutex-guarded so analyzers over one loaded package may run concurrently;
+// loading itself (Load/LoadDir from the driver loop) must stay sequential.
+func (l *Loader) PackageFacts(path string) PkgFacts {
+	l.factsMu.Lock()
+	defer l.factsMu.Unlock()
+	if l.facts == nil {
+		l.facts = make(map[string]PkgFacts)
+	}
+	if f, ok := l.facts[path]; ok {
+		return f
+	}
+	l.facts[path] = nil // cycle guard: facts of an in-flight load resolve empty
+	p := l.pkgs[path]
+	if p == nil {
+		if _, ok := l.dirFor(path); ok {
+			p, _ = l.Load(path)
+		}
+	}
+	var f PkgFacts
+	if p != nil {
+		f = ComputePkgFacts(p)
+	}
+	l.facts[path] = f
+	return f
+}
+
+// Analyze runs one analyzer over one loaded package. facts supplies
+// cross-package function facts; nil is valid (the flow-aware analyzers then
+// treat every callee as unknown).
+func Analyze(a *Analyzer, p *LoadedPackage, facts FactProvider) ([]Diagnostic, error) {
 	pass := NewPass(a, p.Fset, p.Files, p.Types, p.Info)
+	pass.Facts = facts
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, p.Path, err)
 	}

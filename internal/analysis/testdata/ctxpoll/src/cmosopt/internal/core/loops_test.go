@@ -1,0 +1,13 @@
+package core
+
+import "testing"
+
+// Test files are exempt: benchmark and test loops drive evaluation without a
+// run context by design.
+func TestLoopNoPoll(t *testing.T) {
+	p := &Problem{Eng: nil}
+	_ = p
+	for i := 0; i < 3; i++ {
+		_ = i // ok: _test.go
+	}
+}

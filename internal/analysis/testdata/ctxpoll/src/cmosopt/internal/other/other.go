@@ -1,0 +1,14 @@
+// Package other (fixture): outside internal/core and internal/optimize, so
+// ctxpoll does not apply even to unpolled evaluation loops.
+package other
+
+import "cmosopt/internal/eval"
+
+// Report loops over evaluation without polling — fine here.
+func Report(e *eval.Engine, points []float64) float64 {
+	sum := 0.0
+	for _, v := range points {
+		sum += e.Energy(v) // ok: outside the candidate-loop packages
+	}
+	return sum
+}

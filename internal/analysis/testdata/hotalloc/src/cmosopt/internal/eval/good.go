@@ -1,0 +1,83 @@
+// Negative cases: constructs hotalloc deliberately tolerates, the allow
+// directive's span binding, and reachability.
+package eval
+
+// coeffs mirrors the real per-operating-point value bundle.
+type coeffs struct{ a, b float64 }
+
+// Fill appends into preallocated scratch — append is not an alloc construct
+// (steady state reuses capacity; the benchmark gate backstops capacity bugs).
+//
+//cmosvet:hotpath
+func Fill(s *scratch, n int) {
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, float64(i)) // ok: append into scratch
+	}
+}
+
+// At returns a value composite literal — stack, not heap.
+//
+//cmosvet:hotpath
+func At(x float64) coeffs {
+	return coeffs{a: x, b: 2 * x} // ok: value composite literal
+}
+
+// Guard panics on misuse; panic arguments are off the hot path.
+//
+//cmosvet:hotpath
+func Guard(ok bool, tag string) {
+	if !ok {
+		panic("eval: misuse: " + tag) // ok: panic argument
+	}
+}
+
+// LazyInit is the allow-span regression: the standalone directive above the
+// if statement suppresses everything inside that statement's span — and
+// nothing after it.
+//
+//cmosvet:hotpath
+func LazyInit(s *scratch, n int) {
+	//cmosvet:allow hotalloc — one-time lazy init; steady state reuses the buffer
+	if s.buf == nil {
+		s.buf = make([]float64, n) // suppressed: inside the annotated statement
+	}
+	s.ids = append(s.ids, n)
+	m := make([]int, n) // want `make in hotpath function LazyInit allocates`
+	_ = m
+}
+
+// Trailing is the same-line allow form.
+//
+//cmosvet:hotpath
+func Trailing(n int) {
+	m := make([]int, n) //cmosvet:allow hotalloc — deliberate: measured and amortized
+	_ = m
+}
+
+// Early allocates only after an unconditional return: unreachable paths are
+// not charged.
+//
+//cmosvet:hotpath
+func Early(n int) []int {
+	return nil
+	s := make([]int, n) // ok: unreachable
+	return s
+}
+
+// WithDefer defers a call to an allocating helper: deferred calls run off
+// the measured path and their callee facts are not checked.
+//
+//cmosvet:hotpath
+func WithDefer(s *scratch) int {
+	defer trackDone() // ok: deferred call
+	return len(s.buf)
+}
+
+func trackDone() {
+	_ = []int{1} // allocates, but only ever called deferred
+}
+
+// Cold is unannotated: it may allocate freely.
+func Cold(n int) []float64 {
+	return make([]float64, n) // ok: not a hotpath function
+}

@@ -1,0 +1,63 @@
+// Package eval (fixture): positive cases of the hotalloc analyzer — every
+// heap-allocating construct inside a //cmosvet:hotpath function.
+package eval
+
+import (
+	"cmosopt/internal/circuit"
+)
+
+// scratch is the preallocated reusable state hot functions write into.
+type scratch struct {
+	buf []float64
+	ids []int
+}
+
+// Sweep contains one of each directly-allocating construct.
+//
+//cmosvet:hotpath
+func Sweep(s *scratch, n int) {
+	m := make([]float64, n) // want `make in hotpath function Sweep allocates`
+	_ = m
+	p := new(int) // want `new in hotpath function Sweep allocates`
+	_ = p
+	ids := []int{1, 2, 3} // want `slice literal in hotpath function Sweep allocates`
+	_ = ids
+	lut := map[int]bool{0: true} // want `map literal in hotpath function Sweep allocates`
+	_ = lut
+	sp := &scratch{} // want `address-taken composite literal in hotpath function Sweep allocates`
+	_ = sp
+}
+
+// Capture returns a closure over its parameter — a heap closure.
+//
+//cmosvet:hotpath
+func Capture(n int) func() int {
+	f := func() int { return n } // want `capturing closure in hotpath function Capture allocates`
+	return f
+}
+
+// Label concatenates non-constant strings.
+//
+//cmosvet:hotpath
+func Label(name string) string {
+	return name + "-hot" // want `string concatenation in hotpath function Label allocates`
+}
+
+func sink(v interface{}) {}
+
+// Box passes a concrete value where an interface is expected.
+//
+//cmosvet:hotpath
+func Box(x int) {
+	sink(x) // want `interface boxing in hotpath function Box allocates`
+}
+
+// CallsAlloc reaches an allocation through a cross-package callee: the
+// Allocates fact of circuit.Alloc travels to this package.
+//
+//cmosvet:hotpath
+func CallsAlloc(c *circuit.CSR) int {
+	circuit.Alloc(4)    // want `hotpath function CallsAlloc calls Alloc, which allocates`
+	_ = c.LevelGates(0) // ok: callee is hotpath-annotated (verified where it lives)
+	return circuit.Plain(c) // ok: allocation-free by direct inspection
+}

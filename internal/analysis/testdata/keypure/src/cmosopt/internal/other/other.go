@@ -1,0 +1,16 @@
+// Package other (fixture): keypure scopes to internal/serve; an identically
+// shaped flow elsewhere is not a cache key.
+package other
+
+type keyForm struct {
+	Extra int
+}
+
+type Request struct {
+	TimeoutMS int
+}
+
+// Encode is fine here: outside internal/serve.
+func Encode(r *Request) keyForm {
+	return keyForm{Extra: r.TimeoutMS} // ok: not the serving layer
+}

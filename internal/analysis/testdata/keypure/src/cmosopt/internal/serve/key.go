@@ -1,0 +1,98 @@
+// Package serve (fixture): taint cases for the keypure analyzer — execution
+// controls must never reach the cmosopt/key/v1 cache key.
+package serve
+
+import (
+	"context"
+	"strconv"
+)
+
+// Request mirrors the real serving request: problem identity plus execution
+// controls that are never part of the cache key.
+type Request struct {
+	Kind    string
+	Netlist string
+	Budget  float64
+
+	TimeoutMS int
+	NoCache   bool
+	Workers   int
+}
+
+const keySchema = "cmosopt/key/v1"
+
+// keyForm is the canonical hashed form — the taint sink.
+type keyForm struct {
+	Schema  string
+	Kind    string
+	Netlist string
+	Budget  float64
+	Extra   string
+}
+
+// cacheKeyGood builds the key from problem identity only.
+func cacheKeyGood(r *Request) keyForm {
+	return keyForm{Schema: keySchema, Kind: r.Kind, Netlist: r.Netlist, Budget: r.Budget} // ok
+}
+
+// cacheKeyBad puts an execution control straight into the literal.
+func cacheKeyBad(r *Request) keyForm {
+	return keyForm{
+		Schema: keySchema,
+		Kind:   r.Kind,
+		Budget: float64(r.TimeoutMS), // want `execution control r.TimeoutMS flows into cmosopt/key/v1 field Budget`
+	}
+}
+
+// cacheKeyFlow launders the control through locals and a call before a field
+// write — the dataflow follows it.
+func cacheKeyFlow(r *Request) keyForm {
+	t := r.TimeoutMS
+	scaled := t * 1000
+	k := keyForm{Schema: keySchema, Kind: r.Kind}
+	k.Extra = strconv.Itoa(scaled) // want `execution control scaled flows into cmosopt/key/v1 field Extra`
+	return k
+}
+
+// cacheKeyBranch taints on one branch only: the merge keeps the taint.
+func cacheKeyBranch(r *Request, fast bool) keyForm {
+	x := 0
+	if fast {
+		x = r.Workers
+	}
+	return keyForm{Schema: keySchema, Budget: float64(x)} // want `execution control x flows into cmosopt/key/v1 field Budget`
+}
+
+// cacheKeyRelaid kills the taint with a strong update before the sink.
+func cacheKeyRelaid(r *Request) keyForm {
+	v := r.TimeoutMS
+	v = 0
+	return keyForm{Schema: keySchema, Budget: float64(v)} // ok: overwritten before the sink
+}
+
+// cacheKeyCtx hashes the run context itself.
+func cacheKeyCtx(ctx context.Context, r *Request) keyForm {
+	return keyForm{Schema: keySchema, Extra: ctxName(ctx)} // want `execution control ctx \(context.Context\) flows into cmosopt/key/v1 field Extra`
+}
+
+func ctxName(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	return "ctx"
+}
+
+// gateOnControl reads controls to steer execution, not the key: no sink, no
+// finding — even in a function that also builds a key.
+func gateOnControl(r *Request, cached bool) (keyForm, bool) {
+	if r.NoCache { // ok: gating execution, not keying
+		return keyForm{}, false
+	}
+	return cacheKeyGood(r), cached
+}
+
+// debugKey carries the documented suppression.
+func debugKey(r *Request) keyForm {
+	//cmosvet:allow keypure — debug-trace key: includes the timeout for correlation, never stored in the shared cache
+	return keyForm{Schema: keySchema, Extra: strconv.Itoa(r.TimeoutMS)}
+}

@@ -1,0 +1,6 @@
+// Package cyca (fixture): half of a deliberate import cycle.
+package cyca
+
+import "cycb"
+
+var V = cycb.W + 1

@@ -1,0 +1,6 @@
+// Package cycb (fixture): the other half of the cycle.
+package cycb
+
+import "cyca"
+
+var W = cyca.V + 1

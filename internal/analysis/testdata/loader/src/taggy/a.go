@@ -1,0 +1,6 @@
+// Package taggy (fixture): exercises the loader's build-constraint and test
+// file handling.
+package taggy
+
+// A is in the unconditional file: always loaded.
+func A() int { return 1 }

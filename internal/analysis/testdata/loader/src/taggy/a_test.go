@@ -1,0 +1,4 @@
+package taggy
+
+// THelper is an in-package test symbol: visible only with IncludeTests.
+func THelper() int { return A() + 1 }

@@ -1,0 +1,4 @@
+package taggy
+
+// CWindows is selected by its GOOS file suffix only on windows.
+func CWindows() int { return 3 }

@@ -1,0 +1,6 @@
+// External test package: the loader must never mix this into "taggy", even
+// with IncludeTests set (it cannot type-check without the taggy import graph).
+package taggy_test
+
+// External would collide with nothing, but its file must simply be dropped.
+func External() int { return 4 }

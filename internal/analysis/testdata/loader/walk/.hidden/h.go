@@ -1,0 +1,3 @@
+package hidden
+
+func H() int { return 6 }

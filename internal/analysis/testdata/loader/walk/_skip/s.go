@@ -1,0 +1,3 @@
+package skip
+
+func S() int { return 5 }

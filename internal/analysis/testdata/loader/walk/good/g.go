@@ -1,0 +1,3 @@
+package good
+
+func G() int { return 1 }

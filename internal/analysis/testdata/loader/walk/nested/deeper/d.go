@@ -1,0 +1,3 @@
+package deeper
+
+func D() int { return 2 }

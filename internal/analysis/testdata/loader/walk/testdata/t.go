@@ -1,0 +1,3 @@
+package tdata
+
+func T() int { return 4 }

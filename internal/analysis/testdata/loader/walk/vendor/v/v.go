@@ -1,0 +1,3 @@
+package v
+
+func V() int { return 3 }

@@ -1,0 +1,9 @@
+// Package eval (fixture): the engine surface locksafe recognizes as "engine
+// evaluation" when called under a held lock.
+package eval
+
+// Engine stubs the unified evaluation engine.
+type Engine struct{ n int }
+
+// Energy is a full-circuit evaluation: it takes the coeff-cache shard locks.
+func (e *Engine) Energy(v float64) float64 { return v * float64(e.n) }

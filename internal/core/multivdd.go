@@ -139,8 +139,14 @@ func (p *Problem) OptimizeDualVdd(opts Options) (*Result, error) {
 	var bestA *design.Assignment
 	bestHigh := base.Vdd
 	for _, hf := range []float64{1.0, 1.15, 1.3, 1.5} {
+		if err := p.Canceled(); err != nil {
+			return nil, err
+		}
 		high := vddR.Clamp(base.Vdd * hf)
 		for _, lf := range []float64{0.45, 0.55, 0.65, 0.75, 0.85} {
+			if err := p.Canceled(); err != nil {
+				return nil, err
+			}
 			low := vddR.Clamp(high * lf)
 			if e, a, ok := evalRails(high, low); ok && e < bestE {
 				bestE, bestA, bestHigh = e, a, high

@@ -104,8 +104,14 @@ func (p *Problem) OptimizeMultiVt(nv int, opts Options) (*Result, error) {
 
 	vtR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
 	for sweep := 0; sweep < 3; sweep++ {
+		if err := p.Canceled(); err != nil {
+			return nil, err
+		}
 		improved := false
 		for g := 0; g < nv; g++ {
+			if err := p.Canceled(); err != nil {
+				return nil, err
+			}
 			trial := append([]float64(nil), groupVts...)
 			obj := func(vt float64) float64 {
 				trial[g] = vt

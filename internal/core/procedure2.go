@@ -257,6 +257,9 @@ func (p *Problem) OptimizeJoint(opts Options) (*Result, error) {
 
 	if opts.Refine && best.ok {
 		p.refine(&best.e, &best.a, &best.vdd, &best.vts, &opts)
+		if err := p.Canceled(); err != nil {
+			return nil, err
+		}
 	}
 
 	if !best.ok {
@@ -295,6 +298,11 @@ func (p *Problem) refine(bestE *float64, bestA **design.Assignment, bestVdd, bes
 	// Local supply candidates around the incumbent (multiplicative steps so
 	// the scan is scale-free).
 	for _, f := range []float64{0.85, 0.93, 1.0, 1.08, 1.18} {
+		// Candidate boundary: a canceled run stops refining and keeps the
+		// incumbent (the caller re-polls and surfaces the error).
+		if p.Canceled() != nil {
+			return
+		}
 		vdd := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}.Clamp(*bestVdd * f)
 		// Robust threshold scan, then a short golden polish around it.
 		vtR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}

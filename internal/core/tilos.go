@@ -133,11 +133,17 @@ func (p *Problem) OptimizeJointSensitivity(opts Options) (*Result, error) {
 	vddR := optimize.Range{Lo: p.Tech.VddMin, Hi: p.Tech.VddMax}
 	prevV := math.Inf(1)
 	for i := 0; i < opts.M; i++ {
+		if err := p.Canceled(); err != nil {
+			return nil, err
+		}
 		vdd := vddR.Mid()
 		vtsR := optimize.Range{Lo: p.Tech.VtsMin, Hi: p.Tech.VtsMax}
 		prevT := math.Inf(1)
 		bestHere := math.Inf(1)
 		for j := 0; j < opts.M; j++ {
+			if err := p.Canceled(); err != nil {
+				return nil, err
+			}
 			vts := vtsR.Mid()
 			e, ok := eval(vdd, vts)
 			if e < bestHere {

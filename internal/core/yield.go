@@ -76,6 +76,9 @@ func (p *Problem) YieldStudy(a *design.Assignment, sigmaFrac float64, samples in
 	if w <= 1 {
 		die := a.Clone()
 		for s := 0; s < samples; s++ {
+			if err := p.Canceled(); err != nil {
+				return nil, err
+			}
 			cds[s], es[s] = sample(p.Eval, die, s)
 		}
 	} else {

@@ -56,6 +56,7 @@ func New(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*Evaluator,
 
 // SlopeCoeff returns the input-rise-time coefficient
 // ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0, 1].
+//cmosvet:hotpath
 func (e *Evaluator) SlopeCoeff(vdd, vts float64) float64 {
 	k := 0.5 - (1-vts/vdd)/(1+e.Tech.Alpha)
 	if k < 0 {
@@ -79,6 +80,7 @@ type Coeffs struct {
 
 // CoeffsAt computes the device coefficients of one (V_dd, V_TS) operating
 // point — the three transcendental evaluations every gate-delay call needs.
+//cmosvet:hotpath
 func (e *Evaluator) CoeffsAt(vdd, vts float64) Coeffs {
 	return Coeffs{
 		Slope: e.SlopeCoeff(vdd, vts),
@@ -91,6 +93,7 @@ func (e *Evaluator) CoeffsAt(vdd, vts float64) Coeffs {
 // among its drivers (the t_dij term). It returns +Inf when the operating
 // point cannot switch the gate (leakage of the off stacks exceeds the drive
 // current). Input gates have zero delay.
+//cmosvet:hotpath
 func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
 	vdd := a.VddAt(id)
 	return e.GateDelayAt(id, a, a.W[id], -1, 0, maxFaninDelay, e.CoeffsAt(vdd, a.Vts[id]))
@@ -102,6 +105,7 @@ func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay fl
 // loads this gate's output. The device coefficients k must come from CoeffsAt
 // (or a cache of it) for this gate's (V_dd, V_TS) pair. Optimizers use this to
 // probe "what if this width changed" without mutating the assignment.
+//cmosvet:hotpath
 func (e *Evaluator) GateDelayAt(id int, a *design.Assignment, w float64, ov int, wOv, maxFaninDelay float64, k Coeffs) float64 {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {

@@ -56,6 +56,7 @@ func NewCoeffCache() *CoeffCache {
 	return cc
 }
 
+//cmosvet:hotpath
 func (cc *CoeffCache) shardFor(k coeffKey) *coeffShard {
 	// Mix both float bit patterns; fibonacci hashing spreads the structured
 	// low-entropy bisection values across shards.
@@ -65,6 +66,7 @@ func (cc *CoeffCache) shardFor(k coeffKey) *coeffShard {
 }
 
 // lookup returns the cached coefficients of k, if present.
+//cmosvet:hotpath
 func (cc *CoeffCache) lookup(k coeffKey) (delay.Coeffs, bool) {
 	s := cc.shardFor(k)
 	s.mu.Lock()
@@ -79,6 +81,7 @@ func (cc *CoeffCache) lookup(k coeffKey) (delay.Coeffs, bool) {
 }
 
 // store inserts the coefficients of k, clearing the shard first when full.
+//cmosvet:hotpath
 func (cc *CoeffCache) store(k coeffKey, c delay.Coeffs) {
 	s := cc.shardFor(k)
 	s.mu.Lock()

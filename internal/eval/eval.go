@@ -155,6 +155,7 @@ func (e *Engine) FullEvalEquivalents() float64 {
 }
 
 // coeffs returns the cached device coefficients of one voltage pair.
+//cmosvet:hotpath
 func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
 	k := coeffKey{vdd, vts}
 	if e.haveLast && k == e.lastKey {
@@ -179,6 +180,7 @@ func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
 // gateDelay evaluates gate id's delay at width w through the coefficient
 // cache. It is the single funnel every delay number flows through, which is
 // what makes the GateDelayCalls counter a faithful effort meter.
+//cmosvet:hotpath
 func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
 	e.met.GateDelayCalls++
 	return e.dm.GateDelayAt(id, a, w, -1, 0, maxFaninDelay, e.coeffs(a.VddAt(id), a.Vts[id]))
@@ -186,6 +188,7 @@ func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float6
 
 // GateDelayWith returns t_di of one gate given the largest fanin gate delay,
 // evaluated through the coefficient cache. Input gates have zero delay.
+//cmosvet:hotpath
 func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
 	if !e.cs.IsLogic[id] {
 		return 0
@@ -196,6 +199,7 @@ func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float
 // ProbeWidth returns gate id's delay as if its width were w, without touching
 // the assignment — the width-override API that replaces the save/restore
 // mutation pattern in the width solver.
+//cmosvet:hotpath
 func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
 	e.met.WidthProbes++
 	return e.gateDelay(id, a, w, maxFaninDelay)
@@ -206,6 +210,7 @@ func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float
 // load ov presents when it is one of id's fanouts. ov = -1 evaluates the
 // assignment as is. Sensitivity sizers use this to score a neighbor's width
 // move without mutating the assignment.
+//cmosvet:hotpath
 func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, maxFaninDelay float64) float64 {
 	if !e.cs.IsLogic[id] {
 		return 0
@@ -226,6 +231,7 @@ func (e *Engine) SlopeCoeff(vdd, vts float64) float64 { return e.dm.SlopeCoeff(v
 // level. Within a level the gates follow the topological order, so the
 // sequence of model calls — and therefore every cached value and counter —
 // matches the legacy flat walk exactly.
+//cmosvet:hotpath
 func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 	e.met.FullDelaySweeps++
 	var t0 time.Time
@@ -258,6 +264,7 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 }
 
 // arrivalsInto computes worst arrival times from the delays in td into dst.
+//cmosvet:hotpath
 func (e *Engine) arrivalsInto(dst, td []float64) {
 	cs := e.cs
 	for _, id := range cs.LevelGates(0) {
@@ -278,6 +285,7 @@ func (e *Engine) arrivalsInto(dst, td []float64) {
 
 // Delays returns the per-gate delay t_di for the whole network. The returned
 // slice is engine scratch: read it before the next Engine call, copy to keep.
+//cmosvet:hotpath
 func (e *Engine) Delays(a *design.Assignment) []float64 {
 	e.delaysInto(e.td, a)
 	return e.td
@@ -285,6 +293,7 @@ func (e *Engine) Delays(a *design.Assignment) []float64 {
 
 // Arrivals returns per-gate worst arrival times and per-gate delays, in
 // engine scratch (valid until the next Engine call).
+//cmosvet:hotpath
 func (e *Engine) Arrivals(a *design.Assignment) (arr, td []float64) {
 	e.delaysInto(e.td, a)
 	e.arrivalsInto(e.arr, e.td)
@@ -293,6 +302,7 @@ func (e *Engine) Arrivals(a *design.Assignment) (arr, td []float64) {
 
 // CriticalDelay returns the worst path delay from any input to any primary
 // output, allocation-free.
+//cmosvet:hotpath
 func (e *Engine) CriticalDelay(a *design.Assignment) float64 {
 	arr, _ := e.Arrivals(a)
 	worst := 0.0
@@ -314,6 +324,7 @@ func (e *Engine) CriticalPath(a *design.Assignment) ([]int, float64) {
 
 // Slacks runs a full required-time analysis against the cycle budget T into
 // engine scratch (valid until the next Engine call).
+//cmosvet:hotpath
 func (e *Engine) Slacks(a *design.Assignment, T float64) []float64 {
 	e.delaysInto(e.td, a)
 	e.arrivalsInto(e.arr, e.td)
@@ -322,7 +333,9 @@ func (e *Engine) Slacks(a *design.Assignment, T float64) []float64 {
 
 // slacksFrom computes slacks from already-known delays and arrivals — pure
 // graph propagation, no device-model calls.
+//cmosvet:hotpath
 func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
+	//cmosvet:allow hotalloc — one-time lazy init of slack scratch; every later sweep reuses it (0 allocs/op steady state)
 	if e.req == nil {
 		e.req = make([]float64, e.C.N())
 		e.slack = make([]float64, e.C.N())
@@ -356,6 +369,7 @@ func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
 
 // MeetsBudgets reports whether every logic gate's delay is within its
 // per-gate budget, allocation-free.
+//cmosvet:hotpath
 func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 	e.delaysInto(e.td, a)
 	for i, logic := range e.cs.IsLogic {
@@ -367,6 +381,7 @@ func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 }
 
 // gateEnergy evaluates one gate's energy through the coefficient cache.
+//cmosvet:hotpath
 func (e *Engine) gateEnergy(id int, a *design.Assignment) power.Breakdown {
 	if !e.cs.IsLogic[id] {
 		return power.Breakdown{}
@@ -384,6 +399,7 @@ func (e *Engine) GateEnergy(id int, a *design.Assignment) power.Breakdown {
 
 // Energy returns the whole-network per-cycle energy breakdown (the paper's
 // cost function Σ E_si + E_di), evaluated through the coefficient cache.
+//cmosvet:hotpath
 func (e *Engine) Energy(a *design.Assignment) power.Breakdown {
 	e.mustPower()
 	e.met.FullEnergySweeps++

@@ -56,6 +56,7 @@ func (e *Engine) Unbind() { e.bound = nil }
 func (e *Engine) Bound() *design.Assignment { return e.bound }
 
 // refreshAll recomputes the whole tracked state from the bound assignment.
+//cmosvet:hotpath
 func (e *Engine) refreshAll() {
 	a := e.bound
 	e.delaysInto(e.curTd, a)
@@ -68,6 +69,7 @@ func (e *Engine) refreshAll() {
 }
 
 // refreshEnergy re-prices one gate's energy into the tracked arrays.
+//cmosvet:hotpath
 func (e *Engine) refreshEnergy(id int) {
 	b := e.gateEnergy(id, e.bound)
 	e.stE[id], e.dyE[id] = b.Static, b.Dynamic
@@ -76,6 +78,7 @@ func (e *Engine) refreshEnergy(id int) {
 // SetWidth sets the bound assignment's width of gate id and incrementally
 // re-evaluates: the gate itself, the fanin loads, and the dirtied fanout
 // cone for timing; the gate and its logic fanins for energy.
+//cmosvet:hotpath
 func (e *Engine) SetWidth(id int, w float64) {
 	a := e.bound
 	if a.W[id] == w {
@@ -100,6 +103,7 @@ func (e *Engine) SetWidth(id int, w float64) {
 
 // SetGateVts sets the bound assignment's threshold of gate id and
 // incrementally re-evaluates its delay cone and its (static) energy.
+//cmosvet:hotpath
 func (e *Engine) SetGateVts(id int, vts float64) {
 	a := e.bound
 	if a.Vts[id] == vts {
@@ -136,14 +140,17 @@ func (e *Engine) Refresh() { e.refreshAll() }
 
 // BoundDelays returns the tracked per-gate delays (engine-owned; do not
 // modify; valid until the next edit).
+//cmosvet:hotpath
 func (e *Engine) BoundDelays() []float64 { return e.curTd }
 
 // BoundArrivals returns the tracked per-gate worst arrival times
 // (engine-owned; do not modify; valid until the next edit).
+//cmosvet:hotpath
 func (e *Engine) BoundArrivals() []float64 { return e.curArr }
 
 // BoundCriticalDelay returns the tracked critical delay — a max over primary
 // outputs, no model calls.
+//cmosvet:hotpath
 func (e *Engine) BoundCriticalDelay() float64 {
 	worst := 0.0
 	for _, id := range e.C.POs {
@@ -157,6 +164,7 @@ func (e *Engine) BoundCriticalDelay() float64 {
 // BoundEnergy returns the tracked whole-network energy breakdown, summed in
 // gate-index order so the result is bitwise identical to Energy on the same
 // assignment.
+//cmosvet:hotpath
 func (e *Engine) BoundEnergy() power.Breakdown {
 	e.mustPower()
 	var sum power.Breakdown
@@ -168,6 +176,7 @@ func (e *Engine) BoundEnergy() power.Breakdown {
 }
 
 // BoundGateEnergy returns the tracked energy breakdown of one gate.
+//cmosvet:hotpath
 func (e *Engine) BoundGateEnergy(id int) power.Breakdown {
 	e.mustPower()
 	return power.Breakdown{Static: e.stE[id], Dynamic: e.dyE[id]}
@@ -176,11 +185,13 @@ func (e *Engine) BoundGateEnergy(id int) power.Breakdown {
 // BoundSlacks computes slacks against cycle budget T from the tracked delays
 // and arrivals — backward graph propagation only, no device-model calls. The
 // returned slice is engine scratch (valid until the next Engine call).
+//cmosvet:hotpath
 func (e *Engine) BoundSlacks(T float64) []float64 {
 	return e.slacksFrom(e.curTd, e.curArr, T)
 }
 
 // push adds a gate to the dirty heap unless it is already queued.
+//cmosvet:hotpath
 func (e *Engine) push(id int) {
 	if e.inDirty[id] {
 		return
@@ -201,6 +212,7 @@ func (e *Engine) push(id int) {
 }
 
 // pop removes and returns the dirty gate with the smallest topological rank.
+//cmosvet:hotpath
 func (e *Engine) pop() int {
 	d, r := e.dirty, e.cs.Rank
 	id := d[0]
@@ -233,6 +245,7 @@ func (e *Engine) pop() int {
 // gate's delay or arrival changed. Rank ordering guarantees each gate is
 // processed at most once per drain: pops are nondecreasing in rank and every
 // push targets a strictly higher rank than the gate that caused it.
+//cmosvet:hotpath
 func (e *Engine) propagate() {
 	a := e.bound
 	cs := e.cs
