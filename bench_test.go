@@ -29,6 +29,12 @@ import (
 // suite is the paper's benchmark set; heavy benches use a subset.
 var suite = netgen.SuiteNames()
 
+// benchLevelDelay is the assumed per-level delay used to derive a feasible
+// clock frequency for depth-scaled benchmark circuits.
+//
+//cmosvet:unit s
+const benchLevelDelay = 0.35e-9
+
 func problemFor(b *testing.B, name string, act float64) *core.Problem {
 	b.Helper()
 	c, err := netgen.Profile(name)
@@ -67,7 +73,7 @@ func problemForScale(b *testing.B, name string, act float64) *core.Problem {
 		Circuit:      c,
 		Tech:         device.Default350(),
 		Wiring:       wiring.Default350(),
-		Fc:           1 / (float64(cfg.Depth) * 0.35e-9),
+		Fc:           1 / (float64(cfg.Depth) * benchLevelDelay),
 		Skew:         0.95,
 		InputProb:    0.5,
 		InputDensity: act,
@@ -357,7 +363,7 @@ func BenchmarkScalability(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			fc := 1 / (float64(cfg.Depth) * 0.35e-9) // ~0.35 ns per level
+			fc := 1 / (float64(cfg.Depth) * benchLevelDelay) // ~0.35 ns per level
 			for i := 0; i < b.N; i++ {
 				c, err := netgen.Profile85(name)
 				if err != nil {

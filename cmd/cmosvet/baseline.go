@@ -84,16 +84,33 @@ func isDotDot(rel string) bool {
 	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
 }
 
-// filterBaseline splits findings into kept (to report) and suppressed.
-func filterBaseline(modRoot string, set map[baselineEntry]bool, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, suppressed int) {
+// filterBaseline splits findings into kept (to report) and suppressed, and
+// records which baseline entries actually matched a finding — the complement
+// of matched within the set is the stale entries a -prunebaseline run drops.
+func filterBaseline(modRoot string, set map[baselineEntry]bool, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, suppressed int, matched map[baselineEntry]bool) {
+	matched = map[baselineEntry]bool{}
 	for _, d := range diags {
-		if set[baselineKey(modRoot, d)] {
+		if key := baselineKey(modRoot, d); set[key] {
 			suppressed++
+			matched[key] = true
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept, suppressed
+	return kept, suppressed, matched
+}
+
+// staleEntries lists the baseline entries no current finding matches, sorted
+// for stable output.
+func staleEntries(set, matched map[baselineEntry]bool) []baselineEntry {
+	var stale []baselineEntry
+	for e := range set {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	sortEntries(stale)
+	return stale
 }
 
 // writeBaselineFile regenerates the baseline from the current findings,
@@ -108,6 +125,21 @@ func writeBaselineFile(path, modRoot string, diags []analysis.Diagnostic) error 
 			entries = append(entries, e)
 		}
 	}
+	return writeBaselineEntries(path, entries)
+}
+
+// writeBaselineEntries writes a baseline file holding exactly entries, sorted
+// for a stable diff.
+func writeBaselineEntries(path string, entries []baselineEntry) error {
+	sortEntries(entries)
+	data, err := json.MarshalIndent(baselineFile{Schema: baselineSchema, Suppressions: entries}, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+func sortEntries(entries []baselineEntry) {
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.File != b.File {
@@ -118,11 +150,6 @@ func writeBaselineFile(path, modRoot string, diags []analysis.Diagnostic) error 
 		}
 		return a.Message < b.Message
 	})
-	data, err := json.MarshalIndent(baselineFile{Schema: baselineSchema, Suppressions: entries}, "", "\t")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o666)
 }
 
 // jsonDiagnostic is the -json output row; file is printed exactly as the

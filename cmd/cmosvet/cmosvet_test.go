@@ -66,9 +66,10 @@ func TestCanaryFailsStandalone(t *testing.T) {
 	}
 }
 
-// TestCanarySeedsExactlyOneViolation pins the canary's shape through the
-// -json output: one finding, the right analyzer, module-relative path.
-func TestCanarySeedsExactlyOneViolation(t *testing.T) {
+// TestCanarySeedsExactlyTwoViolations pins the canary's shape through the
+// -json output: the floateq finding in seeded.go and the dimcheck finding in
+// seededunits.go, each with a module-relative path.
+func TestCanarySeedsExactlyTwoViolations(t *testing.T) {
 	chdirCanary(t)
 	var exit int
 	out := captureStdout(t, func() {
@@ -81,18 +82,29 @@ func TestCanarySeedsExactlyOneViolation(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &rows); err != nil {
 		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
 	}
-	if len(rows) != 1 {
-		t.Fatalf("canary produced %d findings, want exactly 1: %+v", len(rows), rows)
+	if len(rows) != 2 {
+		t.Fatalf("canary produced %d findings, want exactly 2: %+v", len(rows), rows)
 	}
-	d := rows[0]
-	if d.Analyzer != "floateq" {
-		t.Errorf("analyzer = %q, want floateq", d.Analyzer)
+	want := map[string]string{
+		"floateq":  "internal/core/seeded.go",
+		"dimcheck": "internal/core/seededunits.go",
 	}
-	if filepath.ToSlash(d.File) != "internal/core/seeded.go" {
-		t.Errorf("file = %q, want internal/core/seeded.go", d.File)
+	for _, d := range rows {
+		file, ok := want[d.Analyzer]
+		if !ok {
+			t.Errorf("unexpected analyzer %q: %+v", d.Analyzer, d)
+			continue
+		}
+		delete(want, d.Analyzer)
+		if filepath.ToSlash(d.File) != file {
+			t.Errorf("%s finding in %q, want %s", d.Analyzer, d.File, file)
+		}
+		if d.Line == 0 || d.Col == 0 || d.Message == "" {
+			t.Errorf("incomplete row: %+v", d)
+		}
 	}
-	if d.Line == 0 || d.Col == 0 || d.Message == "" {
-		t.Errorf("incomplete row: %+v", d)
+	for analyzer := range want {
+		t.Errorf("canary produced no %s finding", analyzer)
 	}
 }
 
@@ -136,7 +148,7 @@ func TestLoadBaselineMissingIsEmpty(t *testing.T) {
 func TestLoadBaselineRejectsMalformed(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
-		"bad-json.json":    `{not json`,
+		"bad-json.json":     `{not json`,
 		"wrong-schema.json": `{"schema":"cmosvet/baseline/v999","suppressions":[]}`,
 	}
 	for name, body := range cases {
@@ -188,9 +200,12 @@ func TestBaselineRoundTripStable(t *testing.T) {
 	if len(set) != 2 {
 		t.Fatalf("loaded %d entries, want 2 (duplicate collapsed)", len(set))
 	}
-	kept, suppressed := filterBaseline(dir, set, diags)
+	kept, suppressed, matched := filterBaseline(dir, set, diags)
 	if len(kept) != 0 || suppressed != 3 {
 		t.Fatalf("filter over its own source: kept %d suppressed %d, want 0/3", len(kept), suppressed)
+	}
+	if len(matched) != 2 {
+		t.Fatalf("filter matched %d entries, want 2 (every suppression is live)", len(matched))
 	}
 	// Re-derive the file from the same findings in a different order.
 	reordered := []analysis.Diagnostic{diags[1], diags[2], diags[0]}
@@ -206,4 +221,108 @@ func TestBaselineRoundTripStable(t *testing.T) {
 
 func pos(file string, line, col int) token.Position {
 	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// TestPruneBaselineDropsStale is the prune round trip: write a baseline over
+// the canary, plant a stale entry in it, prune, and the baseline must come
+// back holding exactly the live suppressions.
+func TestPruneBaselineDropsStale(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "baseline.json")
+	chdirCanary(t)
+	if exit := standalone([]string{"./..."}, analysis.All(), runOptions{baselinePath: bl, writeBaseline: true}); exit != 0 {
+		t.Fatalf("-writebaseline exited %d, want 0", exit)
+	}
+	live, err := loadBaseline(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("canary baseline is empty; nothing to round-trip")
+	}
+	stale := baselineEntry{File: "internal/core/gone.go", Analyzer: "floateq", Message: "fixed long ago"}
+	entries := []baselineEntry{stale}
+	for e := range live {
+		entries = append(entries, e)
+	}
+	if err := writeBaselineEntries(bl, entries); err != nil {
+		t.Fatal(err)
+	}
+	if exit := standalone([]string{"./..."}, analysis.All(), runOptions{baselinePath: bl, pruneBaseline: true}); exit != 0 {
+		t.Fatalf("-prunebaseline exited %d, want 0 (every finding suppressed)", exit)
+	}
+	after, err := loadBaseline(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[stale] {
+		t.Error("stale entry survived -prunebaseline")
+	}
+	if len(after) != len(live) {
+		t.Fatalf("pruned baseline has %d entries, want the %d live ones", len(after), len(live))
+	}
+	for e := range live {
+		if !after[e] {
+			t.Errorf("live suppression %+v lost by -prunebaseline", e)
+		}
+	}
+}
+
+// TestPruneBaselineRequiresWholeModule: staleness is undecidable from a
+// partial run, so prune over a single package must refuse.
+func TestPruneBaselineRequiresWholeModule(t *testing.T) {
+	chdirCanary(t)
+	exit := standalone([]string{"./internal/core"}, analysis.All(), runOptions{pruneBaseline: true})
+	if exit != 2 {
+		t.Fatalf("partial -prunebaseline exited %d, want 2 (usage error)", exit)
+	}
+}
+
+// TestUnitsReport pins the -units=report shape over the canary module: valid
+// JSON under the units fact schema, carrying the seeded parameter bindings.
+func TestUnitsReport(t *testing.T) {
+	chdirCanary(t)
+	var exit int
+	out := captureStdout(t, func() { exit = runUnits("report", []string{"./..."}) })
+	if exit != 0 {
+		t.Fatalf("-units=report exited %d, want 0", exit)
+	}
+	var rep unitsReportFile
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != analysis.UnitsSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, analysis.UnitsSchema)
+	}
+	units := rep.Packages["canary/internal/core"]
+	if units["perCycle.param.e"] != "J" || units["perCycle.param.p"] != "W" {
+		t.Errorf("canary package units = %v, want perCycle.param.e=J and perCycle.param.p=W", units)
+	}
+}
+
+// TestUnitsCoverageMeetsFloor runs the real coverage gate over the module's
+// model packages: the annotated surface must stay at or above the floor.
+func TestUnitsCoverageMeetsFloor(t *testing.T) {
+	out := captureStdout(t, func() {
+		if exit := runUnits("coverage", nil); exit != 0 {
+			t.Errorf("-units=coverage exited %d, want 0", exit)
+		}
+	})
+	if !strings.Contains(out, "floor") {
+		t.Errorf("coverage output lacks the floor summary:\n%s", out)
+	}
+}
+
+// TestUnitsCoverageRejectsEmptySurface: a module with no exported float
+// fields cannot satisfy the gate vacuously.
+func TestUnitsCoverageRejectsEmptySurface(t *testing.T) {
+	chdirCanary(t)
+	if exit := runUnits("coverage", []string{"./..."}); exit != 2 {
+		t.Errorf("coverage over fieldless module exited %d, want 2", exit)
+	}
+}
+
+func TestUnitsUnknownMode(t *testing.T) {
+	if exit := runUnits("bogus", nil); exit != 2 {
+		t.Errorf("-units=bogus exited %d, want 2", exit)
+	}
 }

@@ -1,7 +1,9 @@
 // Command cmosvet is the repository's invariant checker: a multichecker over
 // the internal/analysis analyzers — the syntactic four (evalroute,
-// determinism, obswriteonly, floateq) and the flow-aware four (hotalloc,
-// ctxpoll, locksafe, keypure). It runs two ways:
+// determinism, obswriteonly, floateq), the flow-aware four (hotalloc,
+// ctxpoll, locksafe, keypure), and the dimensional-analysis pass (dimcheck),
+// which type-checks //cmosvet:unit annotations (volts, joules, watts,
+// seconds, …) across the whole model. It runs two ways:
 //
 //	cmosvet ./...                         # standalone, over the module
 //	go vet -vettool=$(which cmosvet) ./... # as a vet tool (CI uses this)
@@ -44,6 +46,7 @@ type runOptions struct {
 	jsonOut       bool
 	baselinePath  string // "" = module root's .cmosvet-baseline.json
 	writeBaseline bool
+	pruneBaseline bool
 }
 
 func main() {
@@ -60,17 +63,22 @@ func main() {
 	}
 
 	fs := flag.NewFlagSet("cmosvet", flag.ExitOnError)
-	names := fs.String("analyzers", "all", "comma-separated analyzer subset (evalroute,determinism,obswriteonly,floateq,hotalloc,ctxpoll,locksafe,keypure) or \"all\"")
+	names := fs.String("analyzers", "all", "comma-separated analyzer subset (evalroute,determinism,obswriteonly,floateq,hotalloc,ctxpoll,locksafe,keypure,dimcheck) or \"all\"")
 	var opts runOptions
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit diagnostics as a JSON array on stdout instead of text on stderr")
 	fs.StringVar(&opts.baselinePath, "baseline", "", "baseline suppression file (default: <module>/.cmosvet-baseline.json)")
 	fs.BoolVar(&opts.writeBaseline, "writebaseline", false, "regenerate the baseline file from the current findings and exit 0")
+	fs.BoolVar(&opts.pruneBaseline, "prunebaseline", false, "drop baseline entries no current finding matches (whole-module runs only)")
+	units := fs.String("units", "", "unit-annotation introspection: \"report\" dumps the unit environment as JSON, \"coverage\" enforces the annotation floor")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cmosvet [-analyzers list] [-json] [-baseline file] [-writebaseline] [./... | dir | package.cfg]\n")
+		fmt.Fprintf(os.Stderr, "usage: cmosvet [-analyzers list] [-json] [-baseline file] [-writebaseline] [-prunebaseline] [-units report|coverage] [./... | dir | package.cfg]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *units != "" {
+		os.Exit(runUnits(*units, fs.Args()))
 	}
 	analyzers, err := analysis.ByName(*names)
 	if err != nil {
@@ -128,6 +136,8 @@ func printFlagDefs() {
 		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON on stdout"},
 		{Name: "baseline", Bool: false, Usage: "baseline suppression file"},
 		{Name: "writebaseline", Bool: true, Usage: "regenerate the baseline file from current findings"},
+		{Name: "prunebaseline", Bool: true, Usage: "drop baseline entries no current finding matches"},
+		{Name: "units", Bool: false, Usage: "unit-annotation introspection: report or coverage"},
 	}
 	data, err := json.MarshalIndent(defs, "", "\t")
 	if err != nil {

@@ -76,16 +76,58 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, opts runOptio
 		fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
 		return 2
 	}
-	kept, suppressed := filterBaseline(modRoot, set, all)
+	kept, suppressed, matched := filterBaseline(modRoot, set, all)
 	analysis.SortDiagnostics(kept)
 	printDiagnostics(kept, opts.jsonOut, relPath)
 	if suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "cmosvet: %d finding(s) suppressed by %s\n", suppressed, relPath(bpath))
 	}
+	// Dead-entry handling: an entry no finding matches is a fixed violation
+	// whose suppression outlived it. Only a whole-module run can judge
+	// staleness (a partial pattern simply doesn't see the finding), so the
+	// report and -prunebaseline are gated on having analyzed everything.
+	if wholeModule(patterns) {
+		stale := staleEntries(set, matched)
+		if opts.pruneBaseline {
+			keptEntries := make([]baselineEntry, 0, len(matched))
+			for e := range matched {
+				keptEntries = append(keptEntries, e)
+			}
+			if err := writeBaselineEntries(bpath, keptEntries); err != nil {
+				fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "cmosvet: pruned %d stale suppression(s) from %s, %d kept\n",
+				len(stale), relPath(bpath), len(keptEntries))
+		} else {
+			for _, e := range stale {
+				fmt.Fprintf(os.Stderr, "cmosvet: stale baseline entry (no current finding): %s [%s] %q\n",
+					e.File, e.Analyzer, e.Message)
+			}
+			if len(stale) > 0 {
+				fmt.Fprintf(os.Stderr, "cmosvet: %d stale suppression(s) in %s; run -prunebaseline to drop them\n",
+					len(stale), relPath(bpath))
+			}
+		}
+	} else if opts.pruneBaseline {
+		fmt.Fprintf(os.Stderr, "cmosvet: -prunebaseline requires a whole-module pattern (./...)\n")
+		return 2
+	}
 	if len(kept) > 0 && exit == 0 {
 		exit = 1
 	}
 	return exit
+}
+
+// wholeModule reports whether the patterns cover the entire module, which is
+// what makes baseline staleness decidable.
+func wholeModule(patterns []string) bool {
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			return true
+		}
+	}
+	return false
 }
 
 // analyzePackage runs the analyzers over one package concurrently and returns

@@ -1,8 +1,9 @@
-// Package core carries one deliberately seeded cmosvet violation. The CI
+// Package core carries the deliberately seeded cmosvet violations. The CI
 // canary step runs cmosvet over this module and requires a non-zero exit:
 // if the tool ever silently stops finding anything, the job fails loudly
-// instead of green-lighting a broken gate. Keep exactly one violation here
-// (TestCanarySeedsExactlyOneViolation pins it).
+// instead of green-lighting a broken gate. Keep exactly two violations here
+// — the floateq one below and the dimcheck one in seededunits.go
+// (TestCanarySeedsExactlyTwoViolations pins them).
 package core
 
 // converged compares two computed floats exactly — the seeded floateq

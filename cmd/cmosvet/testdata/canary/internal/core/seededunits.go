@@ -1,0 +1,13 @@
+package core
+
+// perCycle adds a per-cycle energy to an average power — the seeded dimcheck
+// violation (J + W is dimensionally meaningless; the real model multiplies
+// energy by frequency first). Do not "fix" this file.
+//
+//cmosvet:unit e J
+//cmosvet:unit p W
+func perCycle(e, p float64) float64 {
+	return e + p
+}
+
+var _ = perCycle

@@ -66,7 +66,7 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer, opts runOptions) 
 	if !cfg.VetxOnly || inModule {
 		checked, err = typecheck(&cfg)
 		if err != nil {
-			writeFactsFile(cfg.VetxOutput, nil)
+			writeFactsFile(cfg.VetxOutput, analysis.PkgFacts{})
 			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
 				return 0
 			}
@@ -112,7 +112,7 @@ func unitcheck(cfgPath string, analyzers []*analysis.Analyzer, opts runOptions) 
 			fmt.Fprintf(os.Stderr, "cmosvet: %v\n", err)
 			return 1
 		}
-		all, _ = filterBaseline(modRoot, set, all)
+		all, _, _ = filterBaseline(modRoot, set, all)
 	}
 	analysis.SortDiagnostics(all)
 	printDiagnostics(all, opts.jsonOut, func(p string) string { return p })

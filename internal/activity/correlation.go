@@ -30,8 +30,8 @@ import (
 // probabilities P(∂y/∂x_i) evaluated on the correlated engine rather than
 // under independence.
 type CorrelationProfile struct {
-	Prob    []float64 // P(output = 1), correlation-aware, per gate ID
-	Density []float64 // transitions per cycle, correlation-aware
+	Prob    []float64 // P(output = 1), correlation-aware, per gate ID //cmosvet:unit 1
+	Density []float64 // transitions per cycle, correlation-aware //cmosvet:unit 1
 }
 
 // corrEngine carries the growing signal set: visible gates plus the virtual

@@ -29,6 +29,15 @@
 //   - keypure (keypure.go): execution controls never flow into the
 //     cmosopt/key/v1 cache key — the PR 8 content-addressing invariant.
 //
+// A ninth analyzer, dimcheck (dimcheck.go), runs dimensional analysis over
+// the model's float surface: //cmosvet:unit annotations on declaration sites
+// (units.go) seed a lattice of physical dimensions (dim.go) that a forward
+// dataflow fixpoint propagates through expressions, rejecting additions,
+// subtractions and comparisons of unequal dimensions (energy+power,
+// delay<voltage) while */÷ compose exponents. Cross-package declarations
+// resolve through the cmosvet/units/v1 fact schema riding the same .vetx
+// pipeline as the function facts.
+//
 // The x/tools module is deliberately not vendored (this module has zero
 // dependencies); the subset reimplemented here — Analyzer, Pass, Diagnostic,
 // an analysistest-style fixture runner (analysistest/) and the `go vet
@@ -244,7 +253,7 @@ func SortDiagnostics(ds []Diagnostic) {
 
 // All returns the cmosvet analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{EvalRoute, Determinism, ObsWriteOnly, FloatEq, HotAlloc, CtxPoll, LockSafe, KeyPure}
+	return []*Analyzer{EvalRoute, Determinism, ObsWriteOnly, FloatEq, HotAlloc, CtxPoll, LockSafe, KeyPure, DimCheck}
 }
 
 // ByName returns the named analyzers from the suite ("" or "all" → all).

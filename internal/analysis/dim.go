@@ -1,0 +1,414 @@
+package analysis
+
+// The dimcheck dimension lattice.
+//
+// A Dim is the physical dimension of an expression: a vector of rational
+// exponents over the canonical base units volt (V), ampere (A), second (s),
+// meter (m) and kelvin (K). Derived symbols of the annotation grammar expand
+// into that basis when parsed — F = A·s/V, W = V·A, J = V·A·s, Hz = 1/s — so
+// C·V² and J compare equal, and E·f_c multiplies out to watts, exactly the
+// identities the paper's E = CV², P_static ≈ P_dynamic arguments lean on.
+//
+// Beyond exact dimension vectors the lattice has three special elements:
+//
+//   - ⊤ (top): dimension unknown. Produced by unannotated values, calls that
+//     resolve to no unit facts, and math.Pow with a non-constant exponent.
+//     ⊤ is absorbing under multiplication and compatible with everything in
+//     additions and comparisons — missing annotations only widen what the
+//     checker accepts, they never manufacture findings.
+//   - ⊥ (bottom): no information, the dataflow initial element. ⊥ is the
+//     identity of Join, so a variable first assigned on one branch keeps its
+//     dimension at the merge.
+//   - ~ (polymorphic constant): the dimension of literals and other compile-
+//     time constants. A constant adapts to its context the way an untyped Go
+//     constant adapts its type: it is the identity of multiplication and
+//     compatible with any dimension in additions and comparisons, so
+//     `vdd > 3.3` and `slack * 0.5` never flag, while `energy + power` does.
+//
+// Symbolic exponents cover the α-power law: `A/V^a` parses into the atoms
+// {A¹, (V^a)⁻¹}, where the pseudo-atom "V^a" composes multiplicatively
+// ((A/V^a)² = A²·V^-2a) but never cancels against integer powers of V. That
+// is sound here because math.Pow with a non-constant exponent — the only way
+// a runtime α enters an exponent — already yields ⊤.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// rat is a normalized rational exponent (den > 0, gcd(num,den) = 1).
+type rat struct{ num, den int64 }
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func makeRat(num, den int64) rat {
+	if den == 0 {
+		den = 1
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(num, den)
+	return rat{num / g, den / g}
+}
+
+func (r rat) add(o rat) rat { return makeRat(r.num*o.den+o.num*r.den, r.den*o.den) }
+func (r rat) mul(o rat) rat { return makeRat(r.num*o.num, r.den*o.den) }
+func (r rat) neg() rat      { return rat{-r.num, r.den} }
+func (r rat) isZero() bool  { return r.num == 0 }
+func (r rat) String() string {
+	if r.den == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d:%d", r.num, r.den)
+}
+
+// Dim kinds, ordered bottom-up in the lattice: ⊥ ⊑ ~ ⊑ exact ⊑ ⊤.
+const (
+	dimBottom byte = iota // no information (unreached code, Join identity)
+	dimConst              // polymorphic constant (literals; Mul identity)
+	dimExact              // an exact exponent vector (possibly empty = dimensionless)
+	dimTop                // unknown (absorbing under Mul, compatible in checks)
+)
+
+// Dim is one element of the dimension lattice. The zero value is ⊥.
+type Dim struct {
+	kind byte
+	// exps maps base atoms ("V", "s", …, or symbolic pseudo-atoms like
+	// "V^a") to their exponents; zero entries are never stored, and an
+	// empty/nil map with kind dimExact is the dimensionless element.
+	exps map[string]rat
+}
+
+// The lattice's distinguished elements.
+func TopDim() Dim    { return Dim{kind: dimTop} }
+func BottomDim() Dim { return Dim{} }
+func ConstDim() Dim  { return Dim{kind: dimConst} }
+func NoDim() Dim     { return Dim{kind: dimExact} } // dimensionless ("1")
+
+// BaseDim returns the exact dimension of one base atom.
+func BaseDim(sym string) Dim {
+	return Dim{kind: dimExact, exps: map[string]rat{sym: {1, 1}}}
+}
+
+func (d Dim) IsTop() bool    { return d.kind == dimTop }
+func (d Dim) IsBottom() bool { return d.kind == dimBottom }
+func (d Dim) IsConst() bool  { return d.kind == dimConst }
+
+// IsExact reports an exact dimension vector (including dimensionless).
+func (d Dim) IsExact() bool { return d.kind == dimExact }
+
+// IsDimensionless reports the exact empty vector.
+func (d Dim) IsDimensionless() bool { return d.kind == dimExact && len(d.exps) == 0 }
+
+// Equal reports structural equality of lattice elements.
+func (d Dim) Equal(o Dim) bool {
+	if d.kind != o.kind {
+		return false
+	}
+	if d.kind != dimExact {
+		return true
+	}
+	if len(d.exps) != len(o.exps) {
+		return false
+	}
+	for k, v := range d.exps {
+		if o.exps[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul composes dimensions multiplicatively. ⊤ absorbs (unknown times
+// anything is unknown), ⊥ absorbs below it, and ~ is the identity.
+func (d Dim) Mul(o Dim) Dim {
+	if d.kind == dimBottom || o.kind == dimBottom {
+		return BottomDim()
+	}
+	if d.kind == dimTop || o.kind == dimTop {
+		return TopDim()
+	}
+	if d.kind == dimConst {
+		return o
+	}
+	if o.kind == dimConst {
+		return d
+	}
+	out := map[string]rat{}
+	for k, v := range d.exps {
+		out[k] = v
+	}
+	for k, v := range o.exps {
+		sum := v
+		if cur, ok := out[k]; ok {
+			sum = cur.add(v)
+		}
+		if sum.isZero() {
+			delete(out, k)
+		} else {
+			out[k] = sum
+		}
+	}
+	return Dim{kind: dimExact, exps: out}
+}
+
+// Inv returns the multiplicative inverse; ⊤, ⊥ and ~ are self-inverse.
+func (d Dim) Inv() Dim { return d.Pow(-1, 1) }
+
+// Div is d · o⁻¹.
+func (d Dim) Div(o Dim) Dim { return d.Mul(o.Inv()) }
+
+// Pow scales every exponent by num/den (math.Pow with a constant exponent,
+// math.Sqrt with num/den = 1/2). ~^r stays ~, ⊤ stays ⊤.
+func (d Dim) Pow(num, den int64) Dim {
+	if d.kind != dimExact {
+		return d
+	}
+	r := makeRat(num, den)
+	if r.isZero() {
+		return NoDim()
+	}
+	out := make(map[string]rat, len(d.exps))
+	for k, v := range d.exps {
+		out[k] = v.mul(r)
+	}
+	return Dim{kind: dimExact, exps: out}
+}
+
+// Join is the lattice join: ⊥ is the identity, ⊤ absorbs, ~ yields to any
+// exact dimension, and two unequal exact dimensions join to ⊤ (a merge of
+// conflicting evidence degrades to "unknown" rather than guessing).
+func (d Dim) Join(o Dim) Dim {
+	if d.kind == dimBottom {
+		return o
+	}
+	if o.kind == dimBottom {
+		return d
+	}
+	if d.kind == dimTop || o.kind == dimTop {
+		return TopDim()
+	}
+	if d.kind == dimConst {
+		return o
+	}
+	if o.kind == dimConst {
+		return d
+	}
+	if d.Equal(o) {
+		return d
+	}
+	return TopDim()
+}
+
+// Compatible reports whether two dimensions may meet in an addition,
+// subtraction or comparison without a diagnostic: anything involving ⊤, ⊥ or
+// ~ passes; two exact dimensions must be equal.
+func (d Dim) Compatible(o Dim) bool {
+	if d.kind != dimExact || o.kind != dimExact {
+		return true
+	}
+	return d.Equal(o)
+}
+
+// baseUnits are the canonical atoms; derivedUnits expand annotation symbols
+// into them. Order in namedUnits drives the pretty-printer's preference.
+var derivedUnits = map[string]Dim{
+	"V":  BaseDim("V"),
+	"A":  BaseDim("A"),
+	"s":  BaseDim("s"),
+	"m":  BaseDim("m"),
+	"K":  BaseDim("K"),
+	"F":  BaseDim("A").Mul(BaseDim("s")).Div(BaseDim("V")), // farad = A·s/V
+	"W":  BaseDim("V").Mul(BaseDim("A")),                   // watt = V·A
+	"J":  BaseDim("V").Mul(BaseDim("A")).Mul(BaseDim("s")), // joule = V·A·s
+	"Hz": BaseDim("s").Inv(),                               // hertz = 1/s
+}
+
+var namedUnits = []string{"J", "W", "F", "Hz", "V", "A", "s", "m", "K"}
+
+// String renders the dimension in the annotation grammar, so facts
+// serialization round-trips through ParseUnit. Exact dimensions print as the
+// shortest named unit when one matches (V·A·s → "J"), otherwise as a
+// product/quotient of atoms with ^ exponents (rationals as n:d).
+func (d Dim) String() string {
+	switch d.kind {
+	case dimBottom:
+		return "!"
+	case dimTop:
+		return "?"
+	case dimConst:
+		return "~"
+	}
+	if len(d.exps) == 0 {
+		return "1"
+	}
+	for _, name := range namedUnits {
+		if d.Equal(derivedUnits[name]) {
+			return name
+		}
+	}
+	keys := make([]string, 0, len(d.exps))
+	for k := range d.exps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var num, den []string
+	for _, k := range keys {
+		e := d.exps[k]
+		if e.num > 0 {
+			num = append(num, atomString(k, e))
+		} else {
+			den = append(den, atomString(k, e.neg()))
+		}
+	}
+	out := strings.Join(num, "*")
+	if out == "" {
+		out = "1"
+	}
+	if len(den) > 0 {
+		out += "/" + strings.Join(den, "/")
+	}
+	return out
+}
+
+// atomString prints one atom with a positive exponent: "V", "s^2", "V^a",
+// "V^2a", "V^1:2".
+func atomString(atom string, e rat) string {
+	base, sym, symbolic := strings.Cut(atom, "^")
+	if !symbolic {
+		if e == (rat{1, 1}) {
+			return atom
+		}
+		return atom + "^" + e.String()
+	}
+	// Symbolic pseudo-atom "V^a" with coefficient e.
+	if e == (rat{1, 1}) {
+		return base + "^" + sym
+	}
+	return base + "^" + e.String() + sym
+}
+
+var exponentRx = regexp.MustCompile(`^(-?)(\d+(?::\d+)?)?([A-Za-z]*)$`)
+
+// ParseUnit parses an annotation-grammar unit expression into a Dim:
+//
+//	expr     := factor (('*' | '/') factor)*
+//	factor   := unit ['^' exponent]
+//	unit     := 'V'|'A'|'s'|'m'|'K'|'F'|'W'|'J'|'Hz'|'1'
+//	exponent := ['-'] [int [':' int]] [symbol]
+//
+// '1' is the dimensionless unit; a symbol exponent ("a" in `A/V^a`) names a
+// model parameter such as the α-power-law exponent and is only valid on a
+// base unit. "?" parses to ⊤ (it appears in serialized fact tables, not in
+// source annotations).
+func ParseUnit(s string) (Dim, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return TopDim(), fmt.Errorf("empty unit expression")
+	case "?":
+		return TopDim(), nil
+	case "~":
+		return ConstDim(), nil
+	}
+	out := NoDim()
+	sign := int64(1)
+	for i, tok := range splitUnitExpr(s) {
+		if i > 0 {
+			switch tok {
+			case "*":
+				sign = 1
+				continue
+			case "/":
+				sign = -1
+				continue
+			}
+		}
+		f, err := parseFactor(tok)
+		if err != nil {
+			return TopDim(), err
+		}
+		out = out.Mul(f.Pow(sign, 1))
+	}
+	return out, nil
+}
+
+// splitUnitExpr tokenizes into factors and the '*'/'/' separators between
+// them, preserving order.
+func splitUnitExpr(s string) []string {
+	var toks []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' || s[i] == '/' {
+			toks = append(toks, s[start:i], string(s[i]))
+			start = i + 1
+		}
+	}
+	return append(toks, s[start:])
+}
+
+func parseFactor(tok string) (Dim, error) {
+	name, expStr, hasExp := strings.Cut(tok, "^")
+	if name == "1" {
+		if hasExp {
+			return TopDim(), fmt.Errorf("exponent on dimensionless unit in %q", tok)
+		}
+		return NoDim(), nil
+	}
+	base, ok := derivedUnits[name]
+	if !ok {
+		return TopDim(), fmt.Errorf("unknown unit %q (want V, A, s, m, K, F, W, J, Hz or 1)", name)
+	}
+	if !hasExp {
+		return base, nil
+	}
+	m := exponentRx.FindStringSubmatch(expStr)
+	if m == nil || (m[2] == "" && m[3] == "") {
+		return TopDim(), fmt.Errorf("bad exponent %q in %q", expStr, tok)
+	}
+	coef := rat{1, 1}
+	if m[2] != "" {
+		numStr, denStr, isRat := strings.Cut(m[2], ":")
+		var num, den int64 = 0, 1
+		fmt.Sscanf(numStr, "%d", &num)
+		if isRat {
+			fmt.Sscanf(denStr, "%d", &den)
+		}
+		coef = makeRat(num, den)
+	}
+	if m[1] == "-" {
+		coef = coef.neg()
+	}
+	if sym := m[3]; sym != "" {
+		// Symbolic exponent: only on a single base atom.
+		if len(base.exps) != 1 {
+			return TopDim(), fmt.Errorf("symbolic exponent %q on derived unit %q", sym, name)
+		}
+		var atom string
+		for k := range base.exps {
+			atom = k
+		}
+		if strings.Contains(atom, "^") {
+			return TopDim(), fmt.Errorf("nested symbolic exponent in %q", tok)
+		}
+		return Dim{kind: dimExact, exps: map[string]rat{atom + "^" + sym: coef}}, nil
+	}
+	return base.Pow(coef.num, coef.den), nil
+}

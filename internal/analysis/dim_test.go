@@ -1,0 +1,164 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cmosopt/internal/analysis"
+)
+
+func dim(t *testing.T, expr string) analysis.Dim {
+	t.Helper()
+	d, err := analysis.ParseUnit(expr)
+	if err != nil {
+		t.Fatalf("ParseUnit(%q): %v", expr, err)
+	}
+	return d
+}
+
+// TestDimAlgebra pins the group laws of the exact fragment: Mul is
+// associative and commutative, every exact dimension has an inverse, and the
+// dimensionless element is the identity.
+func TestDimAlgebra(t *testing.T) {
+	V, A, s := analysis.BaseDim("V"), analysis.BaseDim("A"), analysis.BaseDim("s")
+	one := analysis.NoDim()
+
+	if got := V.Mul(A).Mul(s); !got.Equal(s.Mul(A.Mul(V))) {
+		t.Fatalf("Mul not associative/commutative: %s vs %s", got, s.Mul(A.Mul(V)))
+	}
+	J := dim(t, "J")
+	if !V.Mul(A).Mul(s).Equal(J) {
+		t.Fatalf("V·A·s = %s, want J", V.Mul(A).Mul(s))
+	}
+	if !J.Mul(J.Inv()).Equal(one) {
+		t.Fatalf("J·J⁻¹ = %s, want 1", J.Mul(J.Inv()))
+	}
+	if !J.Mul(one).Equal(J) || !one.Mul(J).Equal(J) {
+		t.Fatal("dimensionless is not the Mul identity")
+	}
+	// The physics identities the checker leans on: C·V² = J, J·Hz = W,
+	// (V/A)·F = s.
+	F, Hz, W := dim(t, "F"), dim(t, "Hz"), dim(t, "W")
+	if !F.Mul(V).Mul(V).Equal(J) {
+		t.Fatalf("F·V² = %s, want J", F.Mul(V).Mul(V))
+	}
+	if !J.Mul(Hz).Equal(W) {
+		t.Fatalf("J·Hz = %s, want W", J.Mul(Hz))
+	}
+	if !V.Div(A).Mul(F).Equal(s) {
+		t.Fatalf("(V/A)·F = %s, want s", V.Div(A).Mul(F))
+	}
+}
+
+func TestDimSpecialElements(t *testing.T) {
+	V := analysis.BaseDim("V")
+	top, konst, bottom := analysis.TopDim(), analysis.ConstDim(), analysis.BottomDim()
+
+	// ⊤ absorbs under Mul; ~ is the identity; ⊥ absorbs below everything.
+	if !top.Mul(V).IsTop() || !V.Mul(top).IsTop() {
+		t.Fatal("⊤ must absorb under Mul")
+	}
+	if !konst.Mul(V).Equal(V) || !V.Mul(konst).Equal(V) {
+		t.Fatal("~ must be the Mul identity")
+	}
+	if !bottom.Mul(V).IsBottom() {
+		t.Fatal("⊥·V must stay ⊥")
+	}
+	// Join: ⊥ identity, ⊤ absorbing, ~ yields to exact, exact conflict → ⊤.
+	if !bottom.Join(V).Equal(V) || !V.Join(bottom).Equal(V) {
+		t.Fatal("⊥ must be the Join identity")
+	}
+	if !top.Join(V).IsTop() {
+		t.Fatal("⊤ must absorb under Join")
+	}
+	if !konst.Join(V).Equal(V) {
+		t.Fatal("~ ⊔ V must be V")
+	}
+	if !V.Join(analysis.BaseDim("s")).IsTop() {
+		t.Fatal("V ⊔ s must degrade to ⊤")
+	}
+	// Compatibility: only two unequal exacts clash.
+	if V.Compatible(analysis.BaseDim("s")) {
+		t.Fatal("V and s must not be compatible")
+	}
+	for _, d := range []analysis.Dim{top, konst, bottom} {
+		if !d.Compatible(V) || !V.Compatible(d) {
+			t.Fatalf("%s must be compatible with V", d)
+		}
+	}
+	// ~ and ⊤ survive Pow unchanged; dimensionless stays dimensionless.
+	if !konst.Pow(3, 1).IsConst() || !top.Pow(2, 1).IsTop() {
+		t.Fatal("Pow must preserve ~ and ⊤")
+	}
+	if !analysis.NoDim().Pow(7, 2).IsDimensionless() {
+		t.Fatal("1^r must stay dimensionless")
+	}
+}
+
+func TestDimPowRational(t *testing.T) {
+	s := analysis.BaseDim("s")
+	if got := s.Pow(1, 2).Mul(s.Pow(1, 2)); !got.Equal(s) {
+		t.Fatalf("√s·√s = %s, want s", got)
+	}
+	if got := s.Pow(0, 1); !got.IsDimensionless() {
+		t.Fatalf("s^0 = %s, want 1", got)
+	}
+	J := dim(t, "J")
+	half := J.Pow(1, 2)
+	if got := half.String(); got != "A^1:2*V^1:2*s^1:2" {
+		t.Fatalf("J^(1/2) prints %q", got)
+	}
+	if !half.Mul(half).Equal(J) {
+		t.Fatalf("(J^1:2)² = %s, want J", half.Mul(half))
+	}
+}
+
+// TestParseUnitRoundTrip checks String/ParseUnit agree on canonical and
+// composite forms, including symbolic exponents.
+func TestParseUnitRoundTrip(t *testing.T) {
+	cases := []string{"V", "A", "s", "m", "K", "F", "W", "J", "Hz", "1",
+		"A/V^a", "V^2", "s^-1", "V^1:2", "A*s/V", "V/A", "W/m", "?", "~"}
+	for _, c := range cases {
+		d := dim(t, c)
+		again := dim(t, d.String())
+		if !d.Equal(again) {
+			t.Errorf("%q: %s does not re-parse to the same dimension (got %s)", c, d, again)
+		}
+	}
+	// Canonical printing: derived names win, quotients normalize.
+	prints := map[string]string{
+		"V*A":     "W",
+		"A*s/V":   "F",
+		"V*A*s":   "J",
+		"s^-1":    "Hz",
+		"1/s":     "Hz",
+		"J/s":     "W",
+		"W/V":     "A",
+		"F*V*V/J": "1",
+	}
+	for in, want := range prints {
+		if got := dim(t, in).String(); got != want {
+			t.Errorf("ParseUnit(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseUnitSymbolic(t *testing.T) {
+	k := dim(t, "A/V^a")
+	// (A/V^a)·V^a = A: the symbolic atom cancels against itself only.
+	va := dim(t, "V^a")
+	if got := k.Mul(va); !got.Equal(analysis.BaseDim("A")) {
+		t.Fatalf("(A/V^a)·V^a = %s, want A", got)
+	}
+	// V^a must never cancel against integer powers of V.
+	if got := k.Mul(analysis.BaseDim("V")); got.Equal(analysis.BaseDim("A")) {
+		t.Fatal("V^a cancelled against V")
+	}
+	if got := dim(t, "V^2a").String(); got != "V^2a" {
+		t.Fatalf("V^2a prints %q", got)
+	}
+	for _, bad := range []string{"J^a", "V^", "Q", "V^a^b", "1^2", ""} {
+		if _, err := analysis.ParseUnit(bad); err == nil {
+			t.Errorf("ParseUnit(%q) should fail", bad)
+		}
+	}
+}

@@ -47,11 +47,23 @@ type FuncFacts struct {
 	PollsCtx bool `json:"pollsctx,omitempty"`
 }
 
-// PkgFacts maps "Func" / "Type.Method" keys to their facts.
-type PkgFacts map[string]FuncFacts
+// PkgFacts bundles one package's cross-package facts: per-function behavior
+// facts under "Func" / "Type.Method" keys, and the unit-annotation table of
+// its declaration sites (schema cmosvet/units/v1, consumed by dimcheck).
+type PkgFacts struct {
+	Funcs map[string]FuncFacts
+	// Units maps declaration keys — "Type.Field", "ConstName",
+	// "Func.param.x", "Type.Method.return" — to canonical unit expressions
+	// (Dim.String() / ParseUnit round-trip).
+	Units map[string]string
+}
+
+// Empty reports a facts value carrying no information (unknown package).
+func (f PkgFacts) Empty() bool { return f.Funcs == nil && f.Units == nil }
 
 // FactProvider hands a pass the facts of any package by (normalized) import
-// path; nil means the package is unknown (standard library, unanalyzed).
+// path; the zero PkgFacts means the package is unknown (standard library,
+// unanalyzed).
 type FactProvider interface {
 	PackageFacts(path string) PkgFacts
 }
@@ -60,29 +72,43 @@ type FactProvider interface {
 const FactsSchema = "cmosvet/facts/v1"
 
 type factsFile struct {
-	Schema string              `json:"schema"`
+	Schema string               `json:"schema"`
 	Funcs  map[string]FuncFacts `json:"funcs,omitempty"`
+	// The unit table rides the same file under its own schema tag so the
+	// two fact families can version independently.
+	UnitsSchema string            `json:"unitsSchema,omitempty"`
+	Units       map[string]string `json:"units,omitempty"`
 }
 
 // EncodeFacts serializes package facts for a .vetx file (deterministic: JSON
 // object keys marshal sorted).
 func EncodeFacts(f PkgFacts) []byte {
-	b, err := json.Marshal(factsFile{Schema: FactsSchema, Funcs: f})
-	if err != nil { // a map of bools cannot fail to marshal
+	file := factsFile{Schema: FactsSchema, Funcs: f.Funcs}
+	if len(f.Units) > 0 {
+		file.UnitsSchema = UnitsSchema
+		file.Units = f.Units
+	}
+	b, err := json.Marshal(file)
+	if err != nil { // maps of bools and strings cannot fail to marshal
 		return []byte(`{"schema":"` + FactsSchema + `"}`)
 	}
 	return append(b, '\n')
 }
 
 // DecodeFacts parses a .vetx facts payload; unknown or legacy payloads (other
-// tools' vetx, the pre-facts placeholder) decode to nil rather than erroring,
-// because missing facts only widen what the analyzers accept.
+// tools' vetx, the pre-facts placeholder) decode to the zero PkgFacts rather
+// than erroring, because missing facts only widen what the analyzers accept.
+// A units block under the wrong schema is dropped on its own.
 func DecodeFacts(data []byte) PkgFacts {
 	var f factsFile
 	if err := json.Unmarshal(data, &f); err != nil || f.Schema != FactsSchema {
-		return nil
+		return PkgFacts{}
 	}
-	return f.Funcs
+	out := PkgFacts{Funcs: f.Funcs}
+	if f.UnitsSchema == UnitsSchema {
+		out.Units = f.Units
+	}
+	return out
 }
 
 var hotpathRx = regexp.MustCompile(`^//\s*cmosvet:hotpath\b`)
@@ -93,7 +119,7 @@ var hotpathRx = regexp.MustCompile(`^//\s*cmosvet:hotpath\b`)
 // helper that funnels into it, and Problem.Canceled marks its wrappers as
 // polls).
 func ComputePkgFacts(p *LoadedPackage) PkgFacts {
-	facts := PkgFacts{}
+	facts := map[string]FuncFacts{}
 	calls := map[string]map[string]bool{} // caller key → same-package callee keys
 	selfPath := normalizePkgPath(p.Types.Path())
 
@@ -150,7 +176,7 @@ func ComputePkgFacts(p *LoadedPackage) PkgFacts {
 			facts[caller] = cf
 		}
 	}
-	return facts
+	return PkgFacts{Funcs: facts, Units: collectUnits(p.Files, p.Info).UnitDecls()}
 }
 
 // directiveLines returns the line numbers of comments matching rx in file f.
@@ -304,11 +330,29 @@ func (p *Pass) funcFact(path, key string) (FuncFacts, bool) {
 		return FuncFacts{}, false
 	}
 	pf := p.Facts.PackageFacts(normalizePkgPath(path))
-	if pf == nil {
+	if pf.Funcs == nil {
 		return FuncFacts{}, false
 	}
-	f, ok := pf[key]
+	f, ok := pf.Funcs[key]
 	return f, ok
+}
+
+// unitFact resolves a declaration's unit through the pass's fact provider;
+// ⊤ (with ok=false) comes back for unknown packages or unannotated keys.
+func (p *Pass) unitFact(path, key string) (Dim, bool) {
+	if p.Facts == nil {
+		return TopDim(), false
+	}
+	pf := p.Facts.PackageFacts(normalizePkgPath(path))
+	expr, ok := pf.Units[key]
+	if !ok {
+		return TopDim(), false
+	}
+	d, err := ParseUnit(expr)
+	if err != nil {
+		return TopDim(), false
+	}
+	return d, true
 }
 
 // --- allocation-site scanning (shared by the Allocates fact and hotalloc) ---

@@ -13,9 +13,17 @@ import (
 
 func TestFactsRoundTrip(t *testing.T) {
 	in := analysis.PkgFacts{
-		"Engine.Energy": {CallsEval: true},
-		"Helper":        {Hotpath: true, Allocates: true},
-		"Canceled":      {PollsCtx: true},
+		Funcs: map[string]analysis.FuncFacts{
+			"Engine.Energy": {CallsEval: true},
+			"Helper":        {Hotpath: true, Allocates: true},
+			"Canceled":      {PollsCtx: true},
+		},
+		Units: map[string]string{
+			"Tech.VTherm":        "V",
+			"Breakdown.Static":   "J",
+			"Tech.KSat":          "A/V^a",
+			"Tech.IdUnit.return": "A",
+		},
 	}
 	out := analysis.DecodeFacts(analysis.EncodeFacts(in))
 	if !reflect.DeepEqual(in, out) {
@@ -24,7 +32,10 @@ func TestFactsRoundTrip(t *testing.T) {
 }
 
 func TestEncodeFactsDeterministic(t *testing.T) {
-	f := analysis.PkgFacts{"B": {Hotpath: true}, "A": {Allocates: true}, "C": {CallsEval: true}}
+	f := analysis.PkgFacts{
+		Funcs: map[string]analysis.FuncFacts{"B": {Hotpath: true}, "A": {Allocates: true}, "C": {CallsEval: true}},
+		Units: map[string]string{"Z.F": "Hz", "A.F": "F", "M.F": "s^2"},
+	}
 	first := string(analysis.EncodeFacts(f))
 	for i := 0; i < 8; i++ {
 		if got := string(analysis.EncodeFacts(f)); got != first {
@@ -42,9 +53,19 @@ func TestDecodeFactsTolerant(t *testing.T) {
 		"missing schema": `{"funcs":{"F":{"hotpath":true}}}`,
 	}
 	for name, payload := range cases {
-		if got := analysis.DecodeFacts([]byte(payload)); got != nil {
-			t.Errorf("%s: DecodeFacts = %#v, want nil", name, got)
+		if got := analysis.DecodeFacts([]byte(payload)); !got.Empty() {
+			t.Errorf("%s: DecodeFacts = %#v, want empty", name, got)
 		}
+	}
+	// A units block under a stale schema is dropped without losing the
+	// function facts riding the same file.
+	mixed := `{"schema":"cmosvet/facts/v1","funcs":{"F":{"hotpath":true}},"unitsSchema":"cmosvet/units/v0","units":{"T.F":"V"}}`
+	got := analysis.DecodeFacts([]byte(mixed))
+	if !got.Funcs["F"].Hotpath {
+		t.Errorf("mixed schema: function facts lost: %#v", got)
+	}
+	if got.Units != nil {
+		t.Errorf("mixed schema: stale units kept: %#v", got.Units)
 	}
 }
 
@@ -96,7 +117,7 @@ func outer(e *Engine) float64 { return helper(e) + 1 }
 
 	check := func(key string, want analysis.FuncFacts) {
 		t.Helper()
-		got, ok := facts[key]
+		got, ok := facts.Funcs[key]
 		if !ok {
 			t.Fatalf("no facts for %q (have %v)", key, keysOf(facts))
 		}
@@ -111,7 +132,7 @@ func outer(e *Engine) float64 { return helper(e) + 1 }
 	// outer never touches the engine directly: CallsEval arrives only through
 	// the same-package transitive closure.
 	check("outer", analysis.FuncFacts{CallsEval: true})
-	if f := facts["Engine.Energy"]; f.CallsEval {
+	if f := facts.Funcs["Engine.Energy"]; f.CallsEval {
 		t.Fatal("Energy's own body does not call an evaluation; closure must not mark the sink itself")
 	}
 }
@@ -127,17 +148,17 @@ func (b *box) Get(i int) int { return b.v[i] }
 func (b box) Grow(n int) { b.v = make([]int, n) }
 `)
 	facts := analysis.ComputePkgFacts(p)
-	if !facts["box.Get"].Hotpath {
+	if !facts.Funcs["box.Get"].Hotpath {
 		t.Fatalf("pointer-receiver method not keyed box.Get: %v", keysOf(facts))
 	}
-	if !facts["box.Grow"].Allocates {
+	if !facts.Funcs["box.Grow"].Allocates {
 		t.Fatalf("value-receiver method not keyed box.Grow: %v", keysOf(facts))
 	}
 }
 
 func keysOf(f analysis.PkgFacts) []string {
 	var ks []string
-	for k := range f {
+	for k := range f.Funcs {
 		ks = append(ks, k)
 	}
 	return ks

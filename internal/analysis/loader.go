@@ -274,7 +274,7 @@ func (l *Loader) PackageFacts(path string) PkgFacts {
 	if f, ok := l.facts[path]; ok {
 		return f
 	}
-	l.facts[path] = nil // cycle guard: facts of an in-flight load resolve empty
+	l.facts[path] = PkgFacts{} // cycle guard: facts of an in-flight load resolve empty
 	p := l.pkgs[path]
 	if p == nil {
 		if _, ok := l.dirFor(path); ok {

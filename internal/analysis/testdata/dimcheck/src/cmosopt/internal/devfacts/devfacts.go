@@ -1,0 +1,34 @@
+// Package devfacts is the dimcheck fixture's cross-package fact source: its
+// annotations are visible to cmosopt/internal/physics only through the
+// cmosvet/units/v1 fact table, never through in-package syntax.
+package devfacts
+
+// ReferenceTempK anchors temperature scaling.
+const ReferenceTempK = 373.0 //cmosvet:unit K
+
+// Tech is a miniature device model.
+type Tech struct {
+	VTherm float64 // thermal voltage //cmosvet:unit V
+	Ct     float64 // gate capacitance per unit width //cmosvet:unit F
+	IJunc  float64 // junction leakage //cmosvet:unit A
+	KSat   float64 // alpha-power drive factor //cmosvet:unit A/V^a
+	Alpha  float64 // velocity-saturation exponent //cmosvet:unit 1
+}
+
+// IdUnit is the saturation drive current of a unit-width device.
+//
+//cmosvet:unit vgs V
+//cmosvet:unit vts V
+//cmosvet:unit return A
+func (t *Tech) IdUnit(vgs, vts float64) float64 {
+	return t.IJunc * (vgs - vts) / t.VTherm
+}
+
+// Overdrive returns the gate overdrive and whether the device conducts.
+//
+//cmosvet:unit vgs V
+//cmosvet:unit vts V
+//cmosvet:unit return V
+func Overdrive(vgs, vts float64) (float64, bool) {
+	return vgs - vts, vgs > vts
+}

@@ -1,0 +1,157 @@
+// Package physics exercises every dimcheck behavior: add/compare mismatch,
+// mul/div exponent composition, math.Pow constant exponents, cross-package
+// fact resolution and //cmosvet:allow suppression.
+package physics
+
+import (
+	"math"
+
+	"cmosopt/internal/devfacts"
+)
+
+// Gate is the in-package annotated surface.
+type Gate struct {
+	Vdd    float64 //cmosvet:unit V
+	Load   float64 //cmosvet:unit F
+	Delay  float64 //cmosvet:unit s
+	Energy float64 //cmosvet:unit J
+	Power  float64 //cmosvet:unit W
+	Fc     float64 //cmosvet:unit Hz
+}
+
+// Net carries an annotated slice: the unit describes the elements.
+type Net struct {
+	Caps []float64 //cmosvet:unit F
+}
+
+// AddMismatch: energy plus power is the classic confusion; CV² is energy.
+func AddMismatch(g Gate) float64 {
+	ok := g.Energy + 0.5*g.Vdd*g.Vdd*g.Load
+	bad := g.Energy + g.Power // want `dimension mismatch: J \+ W`
+	return ok + bad
+}
+
+func CompareMismatch(g Gate) bool {
+	if g.Delay < g.Vdd { // want `dimension mismatch: comparing s < V`
+		return true
+	}
+	return g.Delay < 1e-9 // a literal adapts to any dimension: silent
+}
+
+// MulDiv: multiplication and division compose exponent vectors, so J·Hz is
+// exactly W and J/W exactly s without further annotation.
+func MulDiv(g Gate) Gate {
+	g.Power = g.Energy * g.Fc
+	g.Delay = g.Energy / g.Power
+	g.Power = g.Energy * g.Delay // want `assigning A\*V\*s\^2 to g.Power, declared W`
+	return g
+}
+
+// PowConst: a constant exponent scales the exponent vector; Sqrt halves it.
+func PowConst(g Gate) Gate {
+	e := math.Pow(g.Vdd, 2) * g.Load
+	g.Energy = e
+	g.Vdd = math.Sqrt(math.Pow(g.Vdd, 2))
+	g.Energy = math.Sqrt(e) // want `assigning A\^1:2\*V\^1:2\*s\^1:2 to g.Energy, declared J`
+	return g
+}
+
+// Cross resolves devfacts' annotations through the units fact table.
+func Cross(t *devfacts.Tech, g Gate) Gate {
+	id := t.IdUnit(g.Vdd, 0.3)
+	bad := t.IdUnit(g.Delay, 0.3) // want `argument 1 of Tech.IdUnit is s; parameter vgs is declared V`
+	g.Power = g.Vdd * (id + bad)
+	g.Energy = t.Ct * g.Vdd * g.Vdd
+	g.Delay = t.Ct // want `assigning F to g.Delay, declared s`
+	return g
+}
+
+// CrossMulti: a multi-value call adopts the callee's per-result annotations,
+// and an annotated cross-package const keeps its dimension.
+//
+//cmosvet:unit tempK K
+func CrossMulti(t *devfacts.Tech, g Gate, tempK float64) Gate {
+	ov, on := devfacts.Overdrive(g.Vdd, 0.3)
+	if on {
+		g.Vdd = ov
+		g.Delay = ov // want `assigning V to g.Delay, declared s`
+	}
+	scale := math.Exp((tempK - devfacts.ReferenceTempK) / t.VTherm) // want `math.Exp argument has dimension K/V; must be dimensionless`
+	return MulDiv(g.scale(scale))
+}
+
+func (g Gate) scale(f float64) Gate {
+	g.Energy = g.Energy * f
+	return g
+}
+
+// SumCaps: the range value variable inherits the container's element
+// dimension, and the loop accumulator converges through the fixpoint.
+func SumCaps(n Net, g Gate) Gate {
+	total := 0.0
+	for _, c := range n.Caps {
+		total += c
+	}
+	g.Energy = total // want `assigning F to g.Energy, declared J`
+	g.Load = total
+	return g
+}
+
+// Merge: branch information joins — conflicting exact dimensions degrade to
+// ⊤ (silent), a one-sided assignment keeps its dimension past the merge.
+func Merge(g Gate, hot bool) Gate {
+	x := 0.0
+	if hot {
+		x = g.Energy
+	} else {
+		x = g.Power
+	}
+	g.Energy = x // J ⊔ W = ⊤: no finding
+	y := 0.0
+	if hot {
+		y = g.Vdd
+	}
+	g.Delay = y // want `assigning V to g.Delay, declared s`
+	return g
+}
+
+// Subthreshold: transcendental arguments must be dimensionless.
+func Subthreshold(t *devfacts.Tech, g Gate) float64 {
+	okExp := math.Exp(g.Vdd / t.VTherm)
+	bad := math.Exp(g.Vdd) // want `math.Exp argument has dimension V; must be dimensionless`
+	return okExp + bad
+}
+
+// CycleTime: returns check against the annotated result dimension.
+//
+//cmosvet:unit return s
+func CycleTime(g Gate) float64 {
+	if g.Fc > 0 {
+		return 1.0 / g.Fc
+	}
+	return g.Vdd // want `returning V from CycleTime, whose result is declared s`
+}
+
+// BuildTyped: composite-literal fields check against their annotations.
+//
+//cmosvet:unit vdd V
+func BuildTyped(vdd float64) Gate {
+	return Gate{
+		Vdd:  vdd,
+		Load: vdd * vdd, // want `field Gate.Load is declared F; assigned V\^2`
+	}
+}
+
+// Allowed: suppression binds a deliberate mismatch, standalone or trailing.
+func Allowed(g Gate) float64 {
+	//cmosvet:allow dimcheck — fixture: deliberate unit pun under test
+	a := g.Energy + g.Power
+	b := g.Energy + g.Power //cmosvet:allow dimcheck — fixture: trailing form
+	return a + b
+}
+
+// Malformed annotations are findings themselves.
+type Wrong struct {
+	// a three-token directive is rejected //cmosvet:unit V extra // want `malformed //cmosvet:unit directive`
+	N float64
+}

@@ -18,7 +18,7 @@ type AreaAwareResult struct {
 	Result     *Result
 	Iterations int
 	// PitchRatio is the final gate pitch over the technology's nominal one.
-	PitchRatio float64
+	PitchRatio float64 //cmosvet:unit 1
 }
 
 // cellWidthAreaFrac is the fraction of nominal cell area that scales with

@@ -15,9 +15,9 @@ import (
 // cliff at low threshold, and the unique interior optimum where they
 // balance.
 type Landscape struct {
-	Vdd []float64   // grid abscissae (rows)
-	Vts []float64   // grid ordinates (columns)
-	E   [][]float64 // E[i][j] at (Vdd[i], Vts[j]); +Inf = infeasible
+	Vdd []float64   // grid abscissae (rows) //cmosvet:unit V
+	Vts []float64   // grid ordinates (columns) //cmosvet:unit V
+	E   [][]float64 // E[i][j] at (Vdd[i], Vts[j]); +Inf = infeasible //cmosvet:unit J
 }
 
 // SampleLandscape evaluates an nVdd × nVts grid. Each sample is a full
@@ -53,6 +53,10 @@ func (p *Problem) SampleLandscape(nVdd, nVts int, opts Options) (*Landscape, err
 
 // Min returns the grid minimum and its coordinates; ok is false when the
 // whole grid is infeasible.
+//
+//cmosvet:unit return1 V
+//cmosvet:unit return2 V
+//cmosvet:unit return3 J
 func (l *Landscape) Min() (vdd, vts, e float64, ok bool) {
 	e = math.Inf(1)
 	for i := range l.E {
@@ -68,6 +72,8 @@ func (l *Landscape) Min() (vdd, vts, e float64, ok bool) {
 }
 
 // FeasibleFraction reports how much of the grid meets timing.
+//
+//cmosvet:unit return 1
 func (l *Landscape) FeasibleFraction() float64 {
 	total, feas := 0, 0
 	for i := range l.E {

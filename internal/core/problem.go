@@ -28,20 +28,20 @@ type Spec struct {
 	Circuit *circuit.Circuit // may be sequential; DFFs are cut automatically
 	Tech    device.Tech
 	Wiring  wiring.Params
-	Fc      float64 // required clock frequency (Hz)
-	Skew    float64 // clock-skew derating b ∈ (0,1]; budget is b/Fc
+	Fc      float64 // required clock frequency //cmosvet:unit Hz
+	Skew    float64 // clock-skew derating b ∈ (0,1]; budget is b/Fc //cmosvet:unit 1
 
 	// Input activity: either a uniform (Prob, Density) applied to every
 	// primary input, or an explicit per-PI map (by gate name).
-	InputProb    float64
-	InputDensity float64
+	InputProb    float64                       //cmosvet:unit 1
+	InputDensity float64                       //cmosvet:unit 1
 	Inputs       map[string]activity.InputSpec // optional override
 
 	// Budget repair parameters (see timing.RepairBudgets). Zero values take
 	// the defaults kappa = 0.16, gamma = 0.75, which track the delay model's
 	// slope coefficient over the search range.
-	RepairKappa float64
-	RepairGamma float64
+	RepairKappa float64 //cmosvet:unit 1
+	RepairGamma float64 //cmosvet:unit 1
 
 	// SampleNets draws an individual wire length per net from the full
 	// Davis distribution (deterministically from NetSeed) instead of using
@@ -81,8 +81,8 @@ type Problem struct {
 	Eval    *eval.Engine
 	Timing  *timing.Analysis
 	Budgets *timing.BudgetResult
-	Fc      float64
-	Skew    float64
+	Fc      float64 //cmosvet:unit Hz
+	Skew    float64 //cmosvet:unit 1
 
 	logicIDs []int           // logic gate IDs in topological order (read-only)
 	sctx     *evalCtx        // the problem's own serial evaluation context
@@ -233,6 +233,8 @@ func NewProblem(s Spec) (*Problem, error) {
 }
 
 // CycleBudget returns the skew-derated cycle time b·T_c.
+//
+//cmosvet:unit return s
 func (p *Problem) CycleBudget() float64 { return p.Skew / p.Fc }
 
 // Evaluations returns the full-circuit-evaluation-equivalent work performed
@@ -246,19 +248,21 @@ type Result struct {
 	Method        string
 	Assignment    *design.Assignment
 	Energy        power.Breakdown // per-cycle energy at the solution
-	CriticalDelay float64         // achieved critical path delay (s)
+	CriticalDelay float64         // achieved critical path delay //cmosvet:unit s
 	Feasible      bool            // critical delay ≤ b·T_c with all budgets met
-	Vdd           float64
-	VtsValues     []float64 // distinct threshold voltages in use
-	Evaluations   int       // full-circuit evaluations consumed by this run
+	Vdd           float64         //cmosvet:unit V
+	VtsValues     []float64       // distinct threshold voltages in use //cmosvet:unit V
+	Evaluations   int             // full-circuit evaluations consumed by this run
 	// Objective is the energy metric the optimizer minimized: equal to
 	// Energy.Total() at nominal corners, and the worst-case (leaky-corner)
 	// energy in variation studies.
-	Objective float64
+	Objective float64 //cmosvet:unit J
 }
 
 // Savings returns the total-energy ratio other/this (how many times less
 // energy this result consumes than other).
+//
+//cmosvet:unit return 1
 func (r *Result) Savings(other *Result) float64 {
 	t := r.Energy.Total()
 	if t <= 0 {
@@ -285,6 +289,8 @@ func (p *Problem) finishResult(method string, a *design.Assignment, feasible boo
 
 // distinctLogicVts returns the set of distinct thresholds actually used by
 // logic gates (Input-gate placeholder entries are ignored).
+//
+//cmosvet:unit return V
 func (p *Problem) distinctLogicVts(a *design.Assignment) []float64 {
 	const tol = 1e-9
 	var out []float64

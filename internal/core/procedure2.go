@@ -19,22 +19,22 @@ type Options struct {
 	WidthPasses int
 	// FixedVt, when > 0, pins every gate's threshold (the Table 1 baseline
 	// uses 0.7 V) and optimizes only Vdd and widths.
-	FixedVt float64
+	FixedVt float64 //cmosvet:unit V
 	// FixedVdd, when > 0, additionally pins the supply in OptimizeBaseline,
 	// leaving only widths free — the conventional full-supply reference
 	// design (the paper's Table 1 runs returned Vdd ≈ 3.3 V, making its
 	// reference numerically a fixed-3.3 V design).
-	FixedVdd float64
+	FixedVdd float64 //cmosvet:unit V
 	// Refine runs a local grid + golden-section polish over (Vdd, Vts)
 	// around the best point after the directional bisection ends. Costlier,
 	// used by the steering ablation.
 	Refine bool
 	// VtTimingFactor scales thresholds during delay evaluation (slow process
 	// corner, ≥ 1 in variation studies). Zero means 1 (nominal).
-	VtTimingFactor float64
+	VtTimingFactor float64 //cmosvet:unit 1
 	// VtPowerFactor scales thresholds during energy evaluation (leaky
 	// process corner, ≤ 1 in variation studies). Zero means 1 (nominal).
-	VtPowerFactor float64
+	VtPowerFactor float64 //cmosvet:unit 1
 	// Workers caps the goroutines used by the parallel drivers (landscape
 	// grids, Refine's scans, speculative candidate evaluation, the study
 	// sweeps). 0 means one worker per CPU (GOMAXPROCS); 1 forces serial

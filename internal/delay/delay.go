@@ -56,7 +56,11 @@ func New(c *circuit.Circuit, tech *device.Tech, wire *wiring.Model) (*Evaluator,
 
 // SlopeCoeff returns the input-rise-time coefficient
 // ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0, 1].
+//
 //cmosvet:hotpath
+//cmosvet:unit vdd V
+//cmosvet:unit vts V
+//cmosvet:unit return 1
 func (e *Evaluator) SlopeCoeff(vdd, vts float64) float64 {
 	k := 0.5 - (1-vts/vdd)/(1+e.Tech.Alpha)
 	if k < 0 {
@@ -73,14 +77,17 @@ func (e *Evaluator) SlopeCoeff(vdd, vts float64) float64 {
 // evaluation engine can compute them once per operating point and reuse them
 // across every gate call (see internal/eval). CoeffsAt is the sole producer.
 type Coeffs struct {
-	Slope float64 // input-slope coefficient ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0,1]
-	Idw   float64 // transregional drive current I_Dw per unit width at V_GS = V_dd (A)
-	Ioff  float64 // off-state leakage I_off(V_TS) per unit width (A)
+	Slope float64 // input-slope coefficient ½ − (1 − V_TS/V_dd)/(1+α), clamped to [0,1] //cmosvet:unit 1
+	Idw   float64 // transregional drive current I_Dw per unit width at V_GS = V_dd //cmosvet:unit A
+	Ioff  float64 // off-state leakage I_off(V_TS) per unit width //cmosvet:unit A
 }
 
 // CoeffsAt computes the device coefficients of one (V_dd, V_TS) operating
 // point — the three transcendental evaluations every gate-delay call needs.
+//
 //cmosvet:hotpath
+//cmosvet:unit vdd V
+//cmosvet:unit vts V
 func (e *Evaluator) CoeffsAt(vdd, vts float64) Coeffs {
 	return Coeffs{
 		Slope: e.SlopeCoeff(vdd, vts),
@@ -93,7 +100,10 @@ func (e *Evaluator) CoeffsAt(vdd, vts float64) Coeffs {
 // among its drivers (the t_dij term). It returns +Inf when the operating
 // point cannot switch the gate (leakage of the off stacks exceeds the drive
 // current). Input gates have zero delay.
+//
 //cmosvet:hotpath
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
 	vdd := a.VddAt(id)
 	return e.GateDelayAt(id, a, a.W[id], -1, 0, maxFaninDelay, e.CoeffsAt(vdd, a.Vts[id]))
@@ -105,7 +115,12 @@ func (e *Evaluator) GateDelayWith(id int, a *design.Assignment, maxFaninDelay fl
 // loads this gate's output. The device coefficients k must come from CoeffsAt
 // (or a cache of it) for this gate's (V_dd, V_TS) pair. Optimizers use this to
 // probe "what if this width changed" without mutating the assignment.
+//
 //cmosvet:hotpath
+//cmosvet:unit w 1
+//cmosvet:unit wOv 1
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Evaluator) GateDelayAt(id int, a *design.Assignment, w float64, ov int, wOv, maxFaninDelay float64, k Coeffs) float64 {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {
@@ -173,6 +188,8 @@ func (e *Evaluator) GateDelayAt(id int, a *design.Assignment, w float64, ov int,
 
 // Delays returns the per-gate delay t_di for the whole network, computed in
 // topological order so each gate sees its drivers' final delays.
+//
+//cmosvet:unit return s
 func (e *Evaluator) Delays(a *design.Assignment) []float64 {
 	td := make([]float64, e.C.N())
 	for _, id := range e.order {
@@ -192,6 +209,9 @@ func (e *Evaluator) Delays(a *design.Assignment) []float64 {
 }
 
 // Arrivals returns per-gate worst arrival times and per-gate delays.
+//
+//cmosvet:unit return1 s
+//cmosvet:unit return2 s
 func (e *Evaluator) Arrivals(a *design.Assignment) (arr, td []float64) {
 	td = e.Delays(a)
 	arr = make([]float64, e.C.N())
@@ -210,6 +230,8 @@ func (e *Evaluator) Arrivals(a *design.Assignment) (arr, td []float64) {
 
 // CriticalDelay returns the worst path delay from any input to any primary
 // output.
+//
+//cmosvet:unit return s
 func (e *Evaluator) CriticalDelay(a *design.Assignment) float64 {
 	arr, _ := e.Arrivals(a)
 	worst := 0.0
@@ -223,6 +245,8 @@ func (e *Evaluator) CriticalDelay(a *design.Assignment) float64 {
 
 // CriticalPath returns the gate IDs of a worst path (inputs included, in
 // input-to-output order) and its delay.
+//
+//cmosvet:unit return2 s
 func (e *Evaluator) CriticalPath(a *design.Assignment) ([]int, float64) {
 	arr, _ := e.Arrivals(a)
 	worstID, worst := -1, math.Inf(-1)
@@ -260,6 +284,9 @@ func (e *Evaluator) CriticalPath(a *design.Assignment) ([]int, float64) {
 // slack[i] = required[i] − arrival[i], where required times propagate
 // backward from T at every primary output. Negative slack marks gates on
 // violating paths; the minimum slack equals T − CriticalDelay.
+//
+//cmosvet:unit T s
+//cmosvet:unit return s
 func (e *Evaluator) Slacks(a *design.Assignment, T float64) []float64 {
 	arr, td := e.Arrivals(a)
 	req := make([]float64, e.C.N())
@@ -289,6 +316,8 @@ func (e *Evaluator) Slacks(a *design.Assignment, T float64) []float64 {
 
 // MeetsBudgets reports whether every gate's delay is within its per-gate
 // budget (+Inf budgets always pass; Input gates are skipped).
+//
+//cmosvet:unit budget s
 func (e *Evaluator) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 	td := e.Delays(a)
 	for i := range e.C.Gates {

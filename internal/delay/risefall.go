@@ -24,10 +24,14 @@ import (
 // worst case.
 
 // muRatio is the electron/hole mobility ratio penalizing PMOS drive.
-const muRatio = 2.0
+const muRatio = 2.0 //cmosvet:unit 1
 
 // driveFactors returns the effective per-unit-width drive multipliers of the
 // pull-down (fall) and pull-up (rise) networks relative to a single NMOS.
+//
+//cmosvet:unit beta 1
+//cmosvet:unit return1 1
+//cmosvet:unit return2 1
 func driveFactors(t circuit.GateType, fii int, beta float64) (fall, rise float64) {
 	pmosUnit := beta / muRatio // β-wide PMOS with the mobility handicap
 	switch t {
@@ -45,6 +49,10 @@ func driveFactors(t circuit.GateType, fii int, beta float64) (fall, rise float64
 // GateDelayRiseFall returns the rise and fall delays of a logic gate under
 // the same load and slope model as GateDelayWith, resolved per transition
 // direction. Input gates return zeros.
+//
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return1 s
+//cmosvet:unit return2 s
 func (e *Evaluator) GateDelayRiseFall(id int, a *design.Assignment, maxFaninDelay float64) (rise, fall float64) {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {
@@ -103,6 +111,8 @@ func (e *Evaluator) GateDelayRiseFall(id int, a *design.Assignment, maxFaninDela
 // slowest input fall, and vice versa). It returns the worst output arrival —
 // the honest critical delay under asymmetric networks — which is never
 // smaller than the symmetric analysis up to the drive-factor model.
+//
+//cmosvet:unit return s
 func (e *Evaluator) CriticalDelayRiseFall(a *design.Assignment) float64 {
 	n := e.C.N()
 	arrR := make([]float64, n) // arrival of a rising edge at the output

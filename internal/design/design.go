@@ -18,13 +18,15 @@ import (
 // one power supply voltage if desired", §4); nil means the single global Vdd
 // of the practical case. Use VddAt to read the effective supply of a gate.
 type Assignment struct {
-	Vdd    float64
-	VddPer []float64
-	Vts    []float64
-	W      []float64
+	Vdd    float64   //cmosvet:unit V
+	VddPer []float64 //cmosvet:unit V
+	Vts    []float64 //cmosvet:unit V
+	W      []float64 // channel-width multiplier //cmosvet:unit 1
 }
 
 // VddAt returns the supply voltage of gate id.
+//
+//cmosvet:unit return V
 func (a *Assignment) VddAt(id int) float64 {
 	if a.VddPer != nil {
 		return a.VddPer[id]
@@ -33,6 +35,8 @@ func (a *Assignment) VddAt(id int) float64 {
 }
 
 // MaxVdd returns the highest supply in use (the rail the module needs).
+//
+//cmosvet:unit return V
 func (a *Assignment) MaxVdd() float64 {
 	if a.VddPer == nil {
 		return a.Vdd
@@ -47,6 +51,8 @@ func (a *Assignment) MaxVdd() float64 {
 }
 
 // DistinctVdds returns the set of distinct supply values in use.
+//
+//cmosvet:unit return V
 func (a *Assignment) DistinctVdds() []float64 {
 	if a.VddPer == nil {
 		return []float64{a.Vdd}
@@ -70,6 +76,10 @@ func (a *Assignment) DistinctVdds() []float64 {
 
 // Uniform returns an assignment with the same threshold and width on all n
 // gates.
+//
+//cmosvet:unit vdd V
+//cmosvet:unit vts V
+//cmosvet:unit w 1
 func Uniform(n int, vdd, vts, w float64) *Assignment {
 	a := &Assignment{
 		Vdd: vdd,
@@ -97,6 +107,8 @@ func (a *Assignment) Clone() *Assignment {
 }
 
 // SetVts overwrites every gate's threshold with one value.
+//
+//cmosvet:unit vts V
 func (a *Assignment) SetVts(vts float64) {
 	for i := range a.Vts {
 		a.Vts[i] = vts
@@ -125,6 +137,8 @@ func (a *Assignment) Validate(t *device.Tech, n int) error {
 
 // DistinctVts returns the set of distinct threshold values in use, within a
 // small tolerance — the paper's n_v.
+//
+//cmosvet:unit return V
 func (a *Assignment) DistinctVts() []float64 {
 	const tol = 1e-9
 	var out []float64

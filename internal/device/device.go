@@ -31,31 +31,31 @@ type Tech struct {
 	Name string
 
 	// Device model.
-	F      float64 // minimum feature size (m)
-	Alpha  float64 // α-power-law velocity-saturation exponent
-	N      float64 // subthreshold ideality factor of the smooth model
-	VTherm float64 // thermal voltage kT/q (V)
-	KSat   float64 // drive factor: I_D = KSat·g^α for a unit-width device (A/V^α)
-	IJunc  float64 // drain-junction leakage of a unit-width device (A)
+	F      float64 // minimum feature size (m) //cmosvet:unit m
+	Alpha  float64 // α-power-law velocity-saturation exponent //cmosvet:unit 1
+	N      float64 // subthreshold ideality factor of the smooth model //cmosvet:unit 1
+	VTherm float64 // thermal voltage kT/q (V) //cmosvet:unit V
+	KSat   float64 // drive factor: I_D = KSat·g^α for a unit-width device (A/V^α) //cmosvet:unit A/V^a
+	IJunc  float64 // drain-junction leakage of a unit-width device (A) //cmosvet:unit A
 	// LeakStack is the effective number of unit-width off devices leaking
 	// per gate width unit: a static CMOS gate leaks through its whole
 	// pull-up or pull-down network (with the β-wider PMOS side), not one
 	// minimum device. It scales I_off only.
-	LeakStack float64
+	LeakStack float64 //cmosvet:unit 1
 
 	// Capacitances, per unit-width device.
-	Ct  float64 // gate-input capacitance C_t (F)
-	CPD float64 // output parasitic (overlap+junction+fringing) C_PD (F)
-	Cmi float64 // intermediate-node capacitance of series stacks C_mi (F)
+	Ct  float64 // gate-input capacitance C_t (F) //cmosvet:unit F
+	CPD float64 // output parasitic (overlap+junction+fringing) C_PD (F) //cmosvet:unit F
+	Cmi float64 // intermediate-node capacitance of series stacks C_mi (F) //cmosvet:unit F
 
 	// Module-level loads.
-	COut float64 // external load seen by each primary output (F)
-	Beta float64 // PMOS/NMOS width ratio (documentation/energy bookkeeping)
+	COut float64 // external load seen by each primary output (F) //cmosvet:unit F
+	Beta float64 // PMOS/NMOS width ratio (documentation/energy bookkeeping) //cmosvet:unit 1
 
 	// Optimization ranges (the paper's Procedure 2 ranges).
-	VddMin, VddMax float64 // supply range (V)
-	VtsMin, VtsMax float64 // threshold range (V)
-	WMin, WMax     float64 // width multiplier range
+	VddMin, VddMax float64 // supply range (V) //cmosvet:unit V
+	VtsMin, VtsMax float64 // threshold range (V) //cmosvet:unit V
+	WMin, WMax     float64 // width multiplier range //cmosvet:unit 1
 }
 
 // Default350 returns a parameter set representative of a 1997-era 0.35 µm
@@ -149,7 +149,11 @@ func (t *Tech) Validate() error {
 
 // ReferenceTempK is the junction temperature the default parameter sets are
 // calibrated at (≈100 °C hot chip).
-const ReferenceTempK = 373.0
+const ReferenceTempK = 373.0 //cmosvet:unit K
+
+// leakDoublingK is the temperature step over which junction leakage roughly
+// doubles.
+const leakDoublingK = 10.0 //cmosvet:unit K
 
 // AtTemperature returns a copy of the technology re-parameterized for a
 // different junction temperature (kelvin):
@@ -162,6 +166,8 @@ const ReferenceTempK = 373.0
 // Cooling a design therefore cuts leakage dramatically while slightly
 // improving drive — which is why the energy-optimal threshold drops with
 // temperature (see core's temperature study).
+//
+//cmosvet:unit tempK K
 func (t Tech) AtTemperature(tempK float64) (Tech, error) {
 	if tempK < 200 || tempK > 500 {
 		return t, fmt.Errorf("device: temperature %v K outside the model's [200,500] range", tempK)
@@ -170,12 +176,16 @@ func (t Tech) AtTemperature(tempK float64) (Tech, error) {
 	ratio := tempK / ReferenceTempK
 	out.VTherm = t.VTherm * ratio
 	out.KSat = t.KSat * math.Pow(ratio, -1.5)
-	out.IJunc = t.IJunc * math.Pow(2, (tempK-ReferenceTempK)/10)
+	out.IJunc = t.IJunc * math.Pow(2, (tempK-ReferenceTempK)/leakDoublingK)
 	out.Name = fmt.Sprintf("%s@%.0fK", t.Name, tempK)
 	return out, nil
 }
 
 // Overdrive returns the smoothed overdrive g(V) in volts.
+//
+//cmosvet:unit vgs V
+//cmosvet:unit vts V
+//cmosvet:unit return V
 func (t *Tech) Overdrive(vgs, vts float64) float64 {
 	nvt := t.N * t.VTherm
 	x := (vgs - vts) / nvt
@@ -192,6 +202,10 @@ func (t *Tech) Overdrive(vgs, vts float64) float64 {
 
 // IdUnit returns the saturation drain current of a unit-width device at the
 // given gate drive and threshold (A).
+//
+//cmosvet:unit vgs V
+//cmosvet:unit vts V
+//cmosvet:unit return A
 func (t *Tech) IdUnit(vgs, vts float64) float64 {
 	return t.KSat * math.Pow(t.Overdrive(vgs, vts), t.Alpha)
 }
@@ -199,12 +213,17 @@ func (t *Tech) IdUnit(vgs, vts float64) float64 {
 // IoffUnit returns the off-state leakage per unit of gate width: the
 // subthreshold channel current at V_GS = 0 plus drain-junction leakage,
 // scaled by the gate's effective number of leaking stacks (LeakStack).
+//
+//cmosvet:unit vts V
+//cmosvet:unit return A
 func (t *Tech) IoffUnit(vts float64) float64 {
 	return t.LeakStack * (t.IdUnit(0, vts) + t.IJunc)
 }
 
 // SubthresholdSwing returns the model's subthreshold swing in volts per
 // current decade: n·vT·ln10/α.
+//
+//cmosvet:unit return V
 func (t *Tech) SubthresholdSwing() float64 {
 	return t.N * t.VTherm * math.Ln10 / t.Alpha
 }
@@ -212,12 +231,15 @@ func (t *Tech) SubthresholdSwing() float64 {
 // Corner describes a worst-case threshold-voltage process corner pair used by
 // the variation study of the paper's Figure 2(a).
 type Corner struct {
-	Low  float64 // fast/leaky corner: V_TS·(1 − tol)
-	High float64 // slow corner:       V_TS·(1 + tol)
+	Low  float64 // fast/leaky corner: V_TS·(1 − tol) //cmosvet:unit V
+	High float64 // slow corner:       V_TS·(1 + tol) //cmosvet:unit V
 }
 
 // Corners returns the ±tol fractional corners of a nominal threshold,
 // clamped to stay positive. tol = 0.1 means ±10 %.
+//
+//cmosvet:unit vtsNominal V
+//cmosvet:unit tol 1
 func Corners(vtsNominal, tol float64) Corner {
 	lo := vtsNominal * (1 - tol)
 	if lo < 0 {

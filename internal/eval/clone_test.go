@@ -7,6 +7,15 @@ import (
 	"cmosopt/internal/design"
 )
 
+// Base and step voltages of the concurrent-sweep test, named so the
+// per-worker operating points carry the volts the bare literals would drop.
+const (
+	baseVdd = 1.2  //cmosvet:unit V
+	stepVdd = 0.1  //cmosvet:unit V
+	baseVts = 0.25 //cmosvet:unit V
+	stepVts = 0.02 //cmosvet:unit V
+)
+
 func TestCloneMatchesParent(t *testing.T) {
 	c, eng, _, _ := buildCase(t, 11)
 	a := design.Uniform(c.N(), 1.6, 0.32, 4)
@@ -47,13 +56,13 @@ func TestClonesEvaluateConcurrently(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			cl := eng.Clone()
-			a := design.Uniform(c.N(), 1.2+0.1*float64(w%4), 0.25+0.02*float64(w), 4)
+			a := design.Uniform(c.N(), baseVdd+stepVdd*float64(w%4), baseVts+stepVts*float64(w), 4)
 			got[w] = out{cl.CriticalDelay(a), cl.Energy(a).Total()}
 		}(w)
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
-		a := design.Uniform(c.N(), 1.2+0.1*float64(w%4), 0.25+0.02*float64(w), 4)
+		a := design.Uniform(c.N(), baseVdd+stepVdd*float64(w%4), baseVts+stepVts*float64(w), 4)
 		if cd := eng.CriticalDelay(a); cd != got[w].cd {
 			t.Errorf("worker %d critical delay %v, serial %v", w, got[w].cd, cd)
 		}

@@ -51,7 +51,10 @@ import (
 // bound (see clone.go).
 const maxCoeffEntries = 4096
 
-type coeffKey struct{ vdd, vts float64 }
+type coeffKey struct {
+	vdd float64 //cmosvet:unit V
+	vts float64 //cmosvet:unit V
+}
 
 // Engine evaluates delay and energy for one circuit under one technology,
 // wiring model, activity profile and clock frequency.
@@ -60,7 +63,7 @@ type Engine struct {
 	Tech *device.Tech
 	Act  *activity.Profile
 	Wire *wiring.Model
-	Fc   float64
+	Fc   float64 //cmosvet:unit Hz
 
 	dm *delay.Evaluator
 	pm *power.Evaluator // nil for a delay-only engine
@@ -77,12 +80,17 @@ type Engine struct {
 	cache     *CoeffCache
 
 	// Scratch for the full-evaluation APIs (valid until the next Engine call).
-	td, arr, req, slack []float64
+	td    []float64 //cmosvet:unit s
+	arr   []float64 //cmosvet:unit s
+	req   []float64 //cmosvet:unit s
+	slack []float64 //cmosvet:unit s
 
 	// Tracked state for incremental evaluation (see incremental.go).
-	bound         *design.Assignment
-	curTd, curArr []float64
-	stE, dyE      []float64
+	bound  *design.Assignment
+	curTd  []float64 //cmosvet:unit s
+	curArr []float64 //cmosvet:unit s
+	stE    []float64 //cmosvet:unit J
+	dyE    []float64 //cmosvet:unit J
 	dirty         []int // binary heap of gate IDs ordered by rank
 	inDirty       []bool
 
@@ -97,6 +105,8 @@ type Engine struct {
 
 // New builds the evaluation engine for a combinational circuit, constructing
 // the delay and power model evaluators internally.
+//
+//cmosvet:unit fc Hz
 func New(c *circuit.Circuit, tech *device.Tech, act *activity.Profile, wire *wiring.Model, fc float64) (*Engine, error) {
 	e, err := NewDelayOnly(c, tech, wire)
 	if err != nil {
@@ -150,12 +160,17 @@ func (e *Engine) Metrics() *Metrics { return &e.met }
 
 // FullEvalEquivalents converts the gate-delay call count into full-circuit
 // evaluation units: one unit is one delay-model call per logic gate.
+//
+//cmosvet:unit return 1
 func (e *Engine) FullEvalEquivalents() float64 {
 	return float64(e.met.GateDelayCalls) / float64(max(e.numLogic, 1))
 }
 
 // coeffs returns the cached device coefficients of one voltage pair.
+//
 //cmosvet:hotpath
+//cmosvet:unit vdd V
+//cmosvet:unit vts V
 func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
 	k := coeffKey{vdd, vts}
 	if e.haveLast && k == e.lastKey {
@@ -180,7 +195,11 @@ func (e *Engine) coeffs(vdd, vts float64) delay.Coeffs {
 // gateDelay evaluates gate id's delay at width w through the coefficient
 // cache. It is the single funnel every delay number flows through, which is
 // what makes the GateDelayCalls counter a faithful effort meter.
+//
 //cmosvet:hotpath
+//cmosvet:unit w 1
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
 	e.met.GateDelayCalls++
 	return e.dm.GateDelayAt(id, a, w, -1, 0, maxFaninDelay, e.coeffs(a.VddAt(id), a.Vts[id]))
@@ -188,7 +207,10 @@ func (e *Engine) gateDelay(id int, a *design.Assignment, w, maxFaninDelay float6
 
 // GateDelayWith returns t_di of one gate given the largest fanin gate delay,
 // evaluated through the coefficient cache. Input gates have zero delay.
+//
 //cmosvet:hotpath
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float64) float64 {
 	if !e.cs.IsLogic[id] {
 		return 0
@@ -199,7 +221,11 @@ func (e *Engine) GateDelayWith(id int, a *design.Assignment, maxFaninDelay float
 // ProbeWidth returns gate id's delay as if its width were w, without touching
 // the assignment — the width-override API that replaces the save/restore
 // mutation pattern in the width solver.
+//
 //cmosvet:hotpath
+//cmosvet:unit w 1
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float64) float64 {
 	e.met.WidthProbes++
 	return e.gateDelay(id, a, w, maxFaninDelay)
@@ -210,7 +236,11 @@ func (e *Engine) ProbeWidth(id int, a *design.Assignment, w, maxFaninDelay float
 // load ov presents when it is one of id's fanouts. ov = -1 evaluates the
 // assignment as is. Sensitivity sizers use this to score a neighbor's width
 // move without mutating the assignment.
+//
 //cmosvet:hotpath
+//cmosvet:unit wOv 1
+//cmosvet:unit maxFaninDelay s
+//cmosvet:unit return s
 func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, maxFaninDelay float64) float64 {
 	if !e.cs.IsLogic[id] {
 		return 0
@@ -225,13 +255,19 @@ func (e *Engine) GateDelayOverride(id int, a *design.Assignment, ov int, wOv, ma
 }
 
 // SlopeCoeff returns the input-rise-time coefficient of one voltage pair.
+//
+//cmosvet:unit vdd V
+//cmosvet:unit vts V
+//cmosvet:unit return 1
 func (e *Engine) SlopeCoeff(vdd, vts float64) float64 { return e.dm.SlopeCoeff(vdd, vts) }
 
 // delaysInto computes per-gate delays into dst, walking the CSR level by
 // level. Within a level the gates follow the topological order, so the
 // sequence of model calls — and therefore every cached value and counter —
 // matches the legacy flat walk exactly.
+//
 //cmosvet:hotpath
+//cmosvet:unit dst s
 func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 	e.met.FullDelaySweeps++
 	var t0 time.Time
@@ -264,7 +300,10 @@ func (e *Engine) delaysInto(dst []float64, a *design.Assignment) {
 }
 
 // arrivalsInto computes worst arrival times from the delays in td into dst.
+//
 //cmosvet:hotpath
+//cmosvet:unit dst s
+//cmosvet:unit td s
 func (e *Engine) arrivalsInto(dst, td []float64) {
 	cs := e.cs
 	for _, id := range cs.LevelGates(0) {
@@ -285,7 +324,9 @@ func (e *Engine) arrivalsInto(dst, td []float64) {
 
 // Delays returns the per-gate delay t_di for the whole network. The returned
 // slice is engine scratch: read it before the next Engine call, copy to keep.
+//
 //cmosvet:hotpath
+//cmosvet:unit return s
 func (e *Engine) Delays(a *design.Assignment) []float64 {
 	e.delaysInto(e.td, a)
 	return e.td
@@ -293,7 +334,10 @@ func (e *Engine) Delays(a *design.Assignment) []float64 {
 
 // Arrivals returns per-gate worst arrival times and per-gate delays, in
 // engine scratch (valid until the next Engine call).
+//
 //cmosvet:hotpath
+//cmosvet:unit return1 s
+//cmosvet:unit return2 s
 func (e *Engine) Arrivals(a *design.Assignment) (arr, td []float64) {
 	e.delaysInto(e.td, a)
 	e.arrivalsInto(e.arr, e.td)
@@ -302,7 +346,9 @@ func (e *Engine) Arrivals(a *design.Assignment) (arr, td []float64) {
 
 // CriticalDelay returns the worst path delay from any input to any primary
 // output, allocation-free.
+//
 //cmosvet:hotpath
+//cmosvet:unit return s
 func (e *Engine) CriticalDelay(a *design.Assignment) float64 {
 	arr, _ := e.Arrivals(a)
 	worst := 0.0
@@ -316,6 +362,8 @@ func (e *Engine) CriticalDelay(a *design.Assignment) float64 {
 
 // CriticalPath returns the gate IDs of a worst path and its delay
 // (delegated to the model evaluator; this path is not performance-critical).
+//
+//cmosvet:unit return2 s
 func (e *Engine) CriticalPath(a *design.Assignment) ([]int, float64) {
 	e.met.FullDelaySweeps++
 	e.met.GateDelayCalls += int64(e.numLogic)
@@ -324,7 +372,10 @@ func (e *Engine) CriticalPath(a *design.Assignment) ([]int, float64) {
 
 // Slacks runs a full required-time analysis against the cycle budget T into
 // engine scratch (valid until the next Engine call).
+//
 //cmosvet:hotpath
+//cmosvet:unit T s
+//cmosvet:unit return s
 func (e *Engine) Slacks(a *design.Assignment, T float64) []float64 {
 	e.delaysInto(e.td, a)
 	e.arrivalsInto(e.arr, e.td)
@@ -333,7 +384,12 @@ func (e *Engine) Slacks(a *design.Assignment, T float64) []float64 {
 
 // slacksFrom computes slacks from already-known delays and arrivals — pure
 // graph propagation, no device-model calls.
+//
 //cmosvet:hotpath
+//cmosvet:unit td s
+//cmosvet:unit arr s
+//cmosvet:unit T s
+//cmosvet:unit return s
 func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
 	//cmosvet:allow hotalloc — one-time lazy init of slack scratch; every later sweep reuses it (0 allocs/op steady state)
 	if e.req == nil {
@@ -369,7 +425,9 @@ func (e *Engine) slacksFrom(td, arr []float64, T float64) []float64 {
 
 // MeetsBudgets reports whether every logic gate's delay is within its
 // per-gate budget, allocation-free.
+//
 //cmosvet:hotpath
+//cmosvet:unit budget s
 func (e *Engine) MeetsBudgets(a *design.Assignment, budget []float64) bool {
 	e.delaysInto(e.td, a)
 	for i, logic := range e.cs.IsLogic {
@@ -412,6 +470,8 @@ func (e *Engine) Energy(a *design.Assignment) power.Breakdown {
 
 // AvgPower converts a per-cycle energy into average power (W) at the
 // engine's clock frequency.
+//
+//cmosvet:unit return W
 func (e *Engine) AvgPower(b power.Breakdown) float64 {
 	e.mustPower()
 	return e.pm.Power(b)

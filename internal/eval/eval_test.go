@@ -14,6 +14,13 @@ import (
 	"cmosopt/internal/wiring"
 )
 
+// Base and step of the cache-overflow threshold sweep, named so the swept
+// operating points stay in volts.
+const (
+	vtsBase = 0.2  //cmosvet:unit V
+	vtsStep = 1e-7 //cmosvet:unit V
+)
+
 // buildCase returns a synthetic circuit with its engine plus the raw model
 // evaluators the engine must agree with.
 func buildCase(t testing.TB, seed int64) (*circuit.Circuit, *Engine, *delay.Evaluator, *power.Evaluator) {
@@ -175,9 +182,10 @@ func TestCoeffCacheOverflowClears(t *testing.T) {
 	c, eng, _, _ := buildCase(t, 5)
 	a := design.Uniform(c.N(), 1.5, 0.35, 4)
 	// Drive far past the cap with distinct voltage pairs (the Monte-Carlo
-	// yield pattern); the cache must stay bounded and keep answering.
+	// yield pattern); the cache must stay bounded and keep answering. The
+	// named base and step keep the swept thresholds in volts.
 	for i := 0; i < maxCoeffEntries+100; i++ {
-		vts := 0.2 + 1e-7*float64(i)
+		vts := vtsBase + vtsStep*float64(i)
 		a.SetVts(vts)
 		eng.CriticalDelay(a)
 	}

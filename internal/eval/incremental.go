@@ -78,7 +78,9 @@ func (e *Engine) refreshEnergy(id int) {
 // SetWidth sets the bound assignment's width of gate id and incrementally
 // re-evaluates: the gate itself, the fanin loads, and the dirtied fanout
 // cone for timing; the gate and its logic fanins for energy.
+//
 //cmosvet:hotpath
+//cmosvet:unit w 1
 func (e *Engine) SetWidth(id int, w float64) {
 	a := e.bound
 	if a.W[id] == w {
@@ -103,7 +105,9 @@ func (e *Engine) SetWidth(id int, w float64) {
 
 // SetGateVts sets the bound assignment's threshold of gate id and
 // incrementally re-evaluates its delay cone and its (static) energy.
+//
 //cmosvet:hotpath
+//cmosvet:unit vts V
 func (e *Engine) SetGateVts(id int, vts float64) {
 	a := e.bound
 	if a.Vts[id] == vts {
@@ -120,6 +124,8 @@ func (e *Engine) SetGateVts(id int, vts float64) {
 
 // SetVdd sets the bound assignment's global supply and refreshes the whole
 // tracked state (every gate's delay and energy depends on V_dd).
+//
+//cmosvet:unit vdd V
 func (e *Engine) SetVdd(vdd float64) {
 	e.bound.Vdd = vdd
 	e.met.IncrementalEdits++
@@ -128,6 +134,8 @@ func (e *Engine) SetVdd(vdd float64) {
 
 // SetUniformVts sets every gate's threshold and refreshes the whole tracked
 // state.
+//
+//cmosvet:unit vts V
 func (e *Engine) SetUniformVts(vts float64) {
 	e.bound.SetVts(vts)
 	e.met.IncrementalEdits++
@@ -140,17 +148,23 @@ func (e *Engine) Refresh() { e.refreshAll() }
 
 // BoundDelays returns the tracked per-gate delays (engine-owned; do not
 // modify; valid until the next edit).
+//
 //cmosvet:hotpath
+//cmosvet:unit return s
 func (e *Engine) BoundDelays() []float64 { return e.curTd }
 
 // BoundArrivals returns the tracked per-gate worst arrival times
 // (engine-owned; do not modify; valid until the next edit).
+//
 //cmosvet:hotpath
+//cmosvet:unit return s
 func (e *Engine) BoundArrivals() []float64 { return e.curArr }
 
 // BoundCriticalDelay returns the tracked critical delay — a max over primary
 // outputs, no model calls.
+//
 //cmosvet:hotpath
+//cmosvet:unit return s
 func (e *Engine) BoundCriticalDelay() float64 {
 	worst := 0.0
 	for _, id := range e.C.POs {
@@ -185,7 +199,10 @@ func (e *Engine) BoundGateEnergy(id int) power.Breakdown {
 // BoundSlacks computes slacks against cycle budget T from the tracked delays
 // and arrivals — backward graph propagation only, no device-model calls. The
 // returned slice is engine scratch (valid until the next Engine call).
+//
 //cmosvet:hotpath
+//cmosvet:unit T s
+//cmosvet:unit return s
 func (e *Engine) BoundSlacks(T float64) []float64 {
 	return e.slacksFrom(e.curTd, e.curArr, T)
 }

@@ -17,14 +17,22 @@ import (
 // single process-wide value, and then quantify what that one-size-fits-all
 // threshold costs each circuit against its own optimum.
 
+// refVt is the 1 V reference that makes the log-space geometric mean below
+// dimensionless: thresholds enter as Vt/refVt and the recommendation leaves
+// as refVt·exp(·), so the volts formally cancel and reappear. Dividing and
+// multiplying by exactly 1.0 is bitwise free.
+//
+//cmosvet:unit V
+const refVt = 1.0
+
 // ProcessVtEntry is the per-circuit outcome of the process-Vt study.
 type ProcessVtEntry struct {
 	Circuit   string
-	Activity  float64
-	OwnVt     float64 // the threshold the circuit's own joint optimum picked
-	OwnEnergy float64
-	AtRecVt   float64 // total energy with Vt pinned at the recommendation
-	Penalty   float64 // AtRecVt / OwnEnergy (≥ 1)
+	Activity  float64 //cmosvet:unit 1
+	OwnVt     float64 // the threshold the circuit's own joint optimum picked //cmosvet:unit V
+	OwnEnergy float64 //cmosvet:unit J
+	AtRecVt   float64 // total energy with Vt pinned at the recommendation //cmosvet:unit J
+	Penalty   float64 // AtRecVt / OwnEnergy (≥ 1) //cmosvet:unit 1
 }
 
 // ProcessVtStudy runs the joint optimizer per circuit, recommends the
@@ -32,6 +40,9 @@ type ProcessVtEntry struct {
 // target, then re-optimizes every circuit with the threshold pinned there
 // (supply and widths still free). It returns the recommendation and the
 // per-circuit entries.
+//
+//cmosvet:unit act 1
+//cmosvet:unit return1 V
 func ProcessVtStudy(cfg Config, act float64) (recommended float64, entries []ProcessVtEntry, err error) {
 	type own struct {
 		p   *core.Problem
@@ -55,13 +66,13 @@ func ProcessVtStudy(cfg Config, act float64) (recommended float64, entries []Pro
 		owns = append(owns, own{p, res})
 		// Weight by energy: circuits that burn more should steer the process.
 		w := res.Energy.Total()
-		logSum += w * math.Log(res.VtsValues[0])
+		logSum += w * math.Log(res.VtsValues[0]/refVt)
 		wSum += w
 	}
 	if wSum <= 0 {
 		return 0, nil, fmt.Errorf("experiments: degenerate suite energies")
 	}
-	recommended = math.Exp(logSum / wSum)
+	recommended = refVt * math.Exp(logSum/wSum)
 
 	for i, o := range owns {
 		opts := cfg.Opts

@@ -24,6 +24,9 @@ import (
 // ShortCircuitGate returns the per-cycle short-circuit energy of one gate.
 // The input rise time is approximated, as in Veendrick's analysis, by twice
 // the largest driver gate delay; driverDelay passes that in.
+//
+//cmosvet:unit driverDelay s
+//cmosvet:unit return J
 func (e *Evaluator) ShortCircuitGate(id int, a *design.Assignment, driverDelay float64) float64 {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {
@@ -45,6 +48,9 @@ func (e *Evaluator) ShortCircuitGate(id int, a *design.Assignment, driverDelay f
 // TotalWithShortCircuit returns the network energy including the
 // short-circuit component, given per-gate delays (used as driver rise
 // times). The breakdown's Dynamic field includes E_sc.
+//
+//cmosvet:unit gateDelays s
+//cmosvet:unit return2 J
 func (e *Evaluator) TotalWithShortCircuit(a *design.Assignment, gateDelays []float64) (Breakdown, float64) {
 	var sum Breakdown
 	sc := 0.0

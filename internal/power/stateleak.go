@@ -24,12 +24,14 @@ import (
 
 // stackSuppress is the per-series-device leakage suppression factor of the
 // stack effect (≈2–10 in practice; 3 is a conservative bulk value).
-const stackSuppress = 3.0
+const stackSuppress = 3.0 //cmosvet:unit 1
 
 // StateAwareStatic returns the per-cycle static energy of one gate with
 // state- and topology-dependent leakage. Gate types reduce to their
 // NAND-like (series pull-down) or NOR-like (series pull-up) structure;
 // XOR/XNOR count as two-high stacks on both sides.
+//
+//cmosvet:unit return J
 func (e *Evaluator) StateAwareStatic(id int, a *design.Assignment) float64 {
 	g := e.C.Gate(id)
 	if !g.IsLogic() {

@@ -12,6 +12,10 @@ import (
 	"cmosopt/internal/wiring"
 )
 
+// lowVdd names the 1.0 V operating point of the state-aware leakage tests so
+// the hand-computed energies below stay dimensionally sound.
+const lowVdd = 1.0 //cmosvet:unit V
+
 func TestStateAwareInverter(t *testing.T) {
 	c, ev, tech := fixture(t)
 	a := design.Uniform(c.N(), 1.0, 0.15, 2)
@@ -19,7 +23,7 @@ func TestStateAwareInverter(t *testing.T) {
 	got := ev.StateAwareStatic(h.ID, a)
 	unit := tech.IdUnit(0, 0.15) + tech.IJunc
 	p := ev.Act.Prob[h.ID]
-	want := 1.0 * 2 * (p*unit + (1-p)*tech.Beta*unit) / fc
+	want := lowVdd * 2 * (p*unit + (1-p)*tech.Beta*unit) / fc
 	if math.Abs(got-want)/want > 1e-12 {
 		t.Errorf("inverter state-aware static = %v, want %v", got, want)
 	}
@@ -68,7 +72,7 @@ func TestStackEffectSuppressesSeriesLeakage(t *testing.T) {
 		} else {
 			// Output ~0: four parallel β-wide PMOS leak — more than one
 			// device's worth.
-			unit := (tech.IdUnit(0, 0.15) + tech.IJunc) * 2 * 1.0 / fc
+			unit := (tech.IdUnit(0, 0.15) + tech.IJunc) * 2 * lowVdd / fc
 			if nandLeak < 3*unit {
 				t.Errorf("%s: parallel PMOS leakage %v too small", tc.name, nandLeak)
 			}

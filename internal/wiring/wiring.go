@@ -23,13 +23,13 @@ import (
 // Params sets the stochastic wiring model's technology and architecture
 // parameters.
 type Params struct {
-	RentP     float64 // Rent exponent (≈0.6 for random logic)
-	RentK     float64 // Rent coefficient (≈4)
-	AvgFanout float64 // average fanout used in the distribution's α = f/(f+1)
-	GatePitch float64 // distance between adjacent gate sites (m)
-	CPerLen   float64 // interconnect capacitance per length (F/m)
-	RPerLen   float64 // interconnect resistance per length (Ω/m)
-	Velocity  float64 // signal propagation velocity on interconnect (m/s)
+	RentP     float64 // Rent exponent (≈0.6 for random logic) //cmosvet:unit 1
+	RentK     float64 // Rent coefficient (≈4) //cmosvet:unit 1
+	AvgFanout float64 // average fanout used in the distribution's α = f/(f+1) //cmosvet:unit 1
+	GatePitch float64 // distance between adjacent gate sites //cmosvet:unit m
+	CPerLen   float64 // interconnect capacitance per length //cmosvet:unit F/m
+	RPerLen   float64 // interconnect resistance (Ω = V/A) per length //cmosvet:unit V/A/m
+	Velocity  float64 // signal propagation velocity on interconnect //cmosvet:unit m/s
 }
 
 // Default350 returns wiring parameters representative of a 0.35 µm-era
@@ -74,8 +74,8 @@ type Model struct {
 	P Params
 	N int
 
-	meanPitches float64   // expected point-to-point length in gate pitches
-	netPitches  []float64 // per-net sampled lengths (nil = use the mean)
+	meanPitches float64   // expected point-to-point length in gate pitches //cmosvet:unit 1
+	netPitches  []float64 // per-net sampled lengths (nil = use the mean) //cmosvet:unit 1
 }
 
 // New builds the wiring model for a network of n logic gates.
@@ -94,6 +94,9 @@ func New(p Params, n int) (*Model, error) {
 // Density returns the (unnormalized) expected number of connections of
 // length l gate pitches, the two-region Davis distribution. It is zero
 // outside [1, 2√N].
+//
+//cmosvet:unit l 1
+//cmosvet:unit return 1
 func (m *Model) Density(l float64) float64 {
 	sqN := math.Sqrt(float64(m.N))
 	if l < 1 || l > 2*sqN {
@@ -110,6 +113,8 @@ func (m *Model) Density(l float64) float64 {
 }
 
 // computeMean integrates l·i(l) / i(l) over the discrete lengths 1..2√N.
+//
+//cmosvet:unit return 1
 func (m *Model) computeMean() float64 {
 	lMax := int(math.Ceil(2 * math.Sqrt(float64(m.N))))
 	var num, den float64
@@ -126,6 +131,8 @@ func (m *Model) computeMean() float64 {
 
 // MeanPitches returns the expected point-to-point connection length in gate
 // pitches.
+//
+//cmosvet:unit return 1
 func (m *Model) MeanPitches() float64 { return m.meanPitches }
 
 // SampleNets draws one length per driver net (indexed by the driving gate's
@@ -159,6 +166,8 @@ func (m *Model) SampleNets(nNets int, seed int64) {
 
 // pitchesOf returns the length in pitches of the net driven by gate id
 // (mean when nets are not sampled or the id is out of range).
+//
+//cmosvet:unit return 1
 func (m *Model) pitchesOf(id int) float64 {
 	if m.netPitches == nil || id < 0 || id >= len(m.netPitches) {
 		return m.meanPitches
@@ -168,14 +177,20 @@ func (m *Model) pitchesOf(id int) float64 {
 
 // BranchLength returns the expected length in meters of one fanout branch
 // (one point-to-point connection of a net).
+//
+//cmosvet:unit return m
 func (m *Model) BranchLength() float64 { return m.meanPitches * m.P.GatePitch }
 
 // BranchLengthNet returns the branch length of the net driven by gate id,
 // which differs per net after SampleNets.
+//
+//cmosvet:unit return m
 func (m *Model) BranchLengthNet(id int) float64 { return m.pitchesOf(id) * m.P.GatePitch }
 
 // NetLength returns the expected total routed length of a net with the given
 // fanout, modeled as a star of point-to-point branches.
+//
+//cmosvet:unit return m
 func (m *Model) NetLength(fanout int) float64 {
 	if fanout < 1 {
 		fanout = 1
@@ -185,36 +200,54 @@ func (m *Model) NetLength(fanout int) float64 {
 
 // BranchCap returns C_INTij: the interconnect capacitance of one fanout
 // branch (F).
+//
+//cmosvet:unit return F
 func (m *Model) BranchCap() float64 { return m.BranchLength() * m.P.CPerLen }
 
 // BranchCapNet is BranchCap for the net driven by gate id.
+//
+//cmosvet:unit return F
 func (m *Model) BranchCapNet(id int) float64 { return m.BranchLengthNet(id) * m.P.CPerLen }
 
 // BranchRes returns R_INTij: the interconnect resistance of one fanout
-// branch (Ω).
+// branch (Ω = V/A).
+//
+//cmosvet:unit return V/A
 func (m *Model) BranchRes() float64 { return m.BranchLength() * m.P.RPerLen }
 
 // BranchResNet is BranchRes for the net driven by gate id.
+//
+//cmosvet:unit return V/A
 func (m *Model) BranchResNet(id int) float64 { return m.BranchLengthNet(id) * m.P.RPerLen }
 
 // FlightTime returns the time-of-flight over one fanout branch (s).
+//
+//cmosvet:unit return s
 func (m *Model) FlightTime() float64 { return m.BranchLength() / m.P.Velocity }
 
 // FlightTimeNet is FlightTime for the net driven by gate id.
+//
+//cmosvet:unit return s
 func (m *Model) FlightTimeNet(id int) float64 { return m.BranchLengthNet(id) / m.P.Velocity }
 
 // RCDelay returns the distributed RC delay of one fanout branch (s), using
-// the 0.5·R·C distributed-line factor.
+// the 0.5·R·C distributed-line factor: (V/A)·F composes to s.
+//
+//cmosvet:unit return s
 func (m *Model) RCDelay() float64 { return 0.5 * m.BranchRes() * m.BranchCap() }
 
 // DieEdge returns the edge length of the (square) placement region implied
 // by the gate count and pitch (m).
+//
+//cmosvet:unit return m
 func (m *Model) DieEdge() float64 { return math.Sqrt(float64(m.N)) * m.P.GatePitch }
 
 // TotalWireEstimate returns the expected total routed wire length of the
 // module (m), summing one branch per fanout connection: Σ_nets fanout·L̄ =
 // E · L̄ where E is the number of point-to-point connections. This is the
 // aggregate the Davis model was built to predict for wiring-layer planning.
+//
+//cmosvet:unit return m
 func (m *Model) TotalWireEstimate(totalFanoutEdges int) float64 {
 	if totalFanoutEdges < 0 {
 		totalFanoutEdges = 0
